@@ -1,0 +1,50 @@
+"""Configuration knobs shared by all benchmarks.
+
+The campaigns are expensive — the paper ran for minutes per circuit on a Sun
+SPARC 10 and a pure-Python reimplementation pays a large constant factor — so
+the harness is parameterised through environment variables:
+
+``REPRO_BENCH_SCALE``
+    Size scale of the surrogate circuits (default ``0.15``); ``1.0``
+    reproduces the published circuit sizes.
+``REPRO_BENCH_MAX_FAULTS``
+    Cap on the number of faults explicitly targeted per circuit (default
+    ``25``); ``0`` removes the cap.
+``REPRO_BENCH_CIRCUITS``
+    Comma-separated circuit list (default: all twelve Table 3 circuits).
+
+The default configuration finishes in a few minutes and preserves the
+qualitative shape of every experiment; EXPERIMENTS.md records a larger run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.data import list_circuits  # noqa: E402  (path setup must come first)
+
+
+def bench_scale() -> float:
+    """Surrogate circuit scale factor."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+
+def bench_max_faults() -> Optional[int]:
+    """Cap on explicitly targeted faults per circuit (``None`` = unlimited)."""
+    value = int(os.environ.get("REPRO_BENCH_MAX_FAULTS", "25"))
+    return value if value > 0 else None
+
+
+def bench_circuits() -> List[str]:
+    """Circuits to run, defaulting to the full Table 3 list."""
+    raw = os.environ.get("REPRO_BENCH_CIRCUITS", "")
+    if raw.strip():
+        return [name.strip() for name in raw.split(",") if name.strip()]
+    return list_circuits()

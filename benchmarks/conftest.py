@@ -1,0 +1,25 @@
+"""Shared fixtures of the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (a table, a
+figure-level observation, or an ablation from DESIGN.md).  The configuration
+knobs live in :mod:`benchconfig`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+@pytest.fixture(scope="session")
+def campaign_cache():
+    """Session-wide cache of campaign results, shared between benchmarks."""
+    return {}

@@ -1,0 +1,59 @@
+"""Ablation A1 — sensitivity to the backtrack (abort) limit.
+
+The paper aborts a fault after 100 backtracks in the local generator and 100
+in the sequential generator.  This ablation sweeps the limit and shows the
+classic trade-off: a higher limit converts aborted faults into tested or
+proven-untestable ones at the cost of CPU time.
+"""
+
+import pytest
+
+from repro.core.flow import SequentialDelayATPG
+from repro.data import load_circuit
+
+LIMITS = [10, 50, 100, 500]
+
+
+def _run_with_limit(circuit, limit):
+    atpg = SequentialDelayATPG(
+        circuit,
+        local_backtrack_limit=limit,
+        sequential_backtrack_limit=limit,
+    )
+    return atpg.run()
+
+
+@pytest.mark.parametrize("limit", LIMITS)
+def test_bench_backtrack_limit_sweep(benchmark, limit, campaign_cache):
+    circuit = load_circuit("s27")
+    campaign = benchmark.pedantic(_run_with_limit, args=(circuit, limit), rounds=1, iterations=1)
+    campaign_cache[f"s27@limit{limit}"] = campaign
+
+    print()
+    print(
+        f"s27, backtrack limit {limit:>4}: tested={campaign.tested:>3} "
+        f"untestable={campaign.untestable:>3} aborted={campaign.aborted:>3} "
+        f"time={campaign.cpu_seconds:.2f}s"
+    )
+    assert campaign.tested + campaign.untestable + campaign.aborted == campaign.total_faults
+
+
+def test_bench_backtrack_sweep_summary(campaign_cache):
+    rows = [
+        (limit, campaign_cache.get(f"s27@limit{limit}"))
+        for limit in LIMITS
+        if f"s27@limit{limit}" in campaign_cache
+    ]
+    if len(rows) < 2:
+        pytest.skip("sweep rows missing")
+    print()
+    print("Backtrack-limit sweep on s27 (paper uses 100):")
+    print(f"{'limit':>6} {'tested':>7} {'untstbl':>8} {'aborted':>8} {'time[s]':>8}")
+    for limit, campaign in rows:
+        print(
+            f"{limit:>6} {campaign.tested:>7} {campaign.untestable:>8} "
+            f"{campaign.aborted:>8} {campaign.cpu_seconds:>8.2f}"
+        )
+    # Aborted faults must not increase with a higher limit.
+    aborted = [campaign.aborted for _, campaign in rows]
+    assert all(later <= earlier for earlier, later in zip(aborted, aborted[1:]))

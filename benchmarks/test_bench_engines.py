@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the individual engines (not a paper table).
+
+These track the cost of the building blocks the campaign time is made of:
+one TDgen run, one synchronisation, one propagation and one fault-simulation
+pass on s27.  Useful for spotting performance regressions when extending the
+library.
+"""
+
+import pytest
+
+from repro.algebra.values import F, R, V0, V1
+from repro.circuit.netlist import Line
+from repro.core.flow import SequentialDelayATPG
+from repro.data import load_circuit
+from repro.faults.model import DelayFaultType, GateDelayFault
+from repro.semilet.propagation import PropagationEngine
+from repro.semilet.synchronization import Synchronizer
+from repro.tdgen.engine import TDgen
+from repro.tdgen.result import LocalTestStatus
+from repro.tdsim.cpt import DelayFaultSimulator
+
+
+@pytest.fixture(scope="module")
+def s27():
+    return load_circuit("s27")
+
+
+def test_bench_tdgen_single_fault(benchmark, s27):
+    tdgen = TDgen(s27)
+    fault = GateDelayFault(Line("G11"), DelayFaultType.SLOW_TO_RISE)
+    result = benchmark(tdgen.generate, fault)
+    assert result.status is LocalTestStatus.SUCCESS
+
+
+def test_bench_synchronizer(benchmark, s27):
+    synchronizer = Synchronizer(s27)
+    result = benchmark(synchronizer.synchronize, {"G5": 0, "G6": 1, "G7": 0})
+    assert result.success
+
+
+def test_bench_propagation(benchmark, s27):
+    engine = PropagationEngine(s27)
+    result = benchmark(
+        engine.propagate, {"G5": 0, "G6": 1, "G7": 0}, {"G5": 0, "G6": 0, "G7": 0}
+    )
+    assert result.success
+
+
+def test_bench_delay_fault_simulation(benchmark, s27):
+    simulator = DelayFaultSimulator(s27)
+    # A pattern with rich transition activity: 13 faults are robustly detected
+    # at the primary output by critical path tracing.
+    pi_values = {"G0": R, "G1": R, "G2": V0, "G3": V1}
+    ppi_initial = {"G5": 0, "G6": 1, "G7": 0}
+    detections = benchmark(simulator.simulate, pi_values, ppi_initial)
+    assert detections
+
+
+def test_bench_full_fault_flow(benchmark, s27):
+    atpg = SequentialDelayATPG(s27)
+    fault = GateDelayFault(Line("G13"), DelayFaultType.SLOW_TO_RISE)
+    result = benchmark(atpg.generate_for_fault, fault)
+    assert result.tested

@@ -1,0 +1,53 @@
+"""Experiment E1 — regenerate Table 1 (AND gate truth table of the algebra).
+
+The benchmark measures the cost of building the full 8x8 table (the operation
+TDgen performs implicitly on every implication) and prints the table in the
+paper's layout so the rows can be compared side by side.
+"""
+
+from repro.algebra.tables import and2, format_truth_table, paper_table1_and
+from repro.algebra.values import ALL_VALUES
+from repro.circuit.gates import GateType
+
+#: The two rows printed explicitly in the paper (Table 1): the test-carrying
+#: values Rc and Fc against every off-path value, in the column order
+#: 0, 1, R, F, 0h, 1h, Rc, Fc.
+PAPER_TABLE1_RC_ROW = ["0", "Rc", "Rc", "0h", "0h", "Rc", "Rc", "0h"]
+PAPER_TABLE1_FC_ROW = ["0", "Fc", "0h", "F", "0h", "F", "0h", "Fc"]
+
+
+def _build_table():
+    return paper_table1_and()
+
+
+def test_bench_table1_and_truth_table(benchmark):
+    table = benchmark(_build_table)
+    assert len(table) == 64
+
+    rc_row = [table[("Rc", value.name)] for value in ALL_VALUES]
+    fc_row = [table[("Fc", value.name)] for value in ALL_VALUES]
+    assert rc_row == PAPER_TABLE1_RC_ROW
+    assert fc_row == PAPER_TABLE1_FC_ROW
+
+    print()
+    print("Table 1 — truth table for the AND gate (eight-valued robust algebra)")
+    print(format_truth_table(GateType.AND))
+    print()
+    print("paper Rc row:", " ".join(PAPER_TABLE1_RC_ROW))
+    print("ours  Rc row:", " ".join(rc_row))
+    print("paper Fc row:", " ".join(PAPER_TABLE1_FC_ROW))
+    print("ours  Fc row:", " ".join(fc_row))
+
+
+def test_bench_table1_full_gate_evaluation(benchmark):
+    """Throughput of the two-input AND evaluation (the innermost ATPG kernel)."""
+
+    def evaluate_all_pairs():
+        total = 0
+        for a in ALL_VALUES:
+            for b in ALL_VALUES:
+                total += and2(a, b).index
+        return total
+
+    checksum = benchmark(evaluate_all_pairs)
+    assert checksum > 0

@@ -1,0 +1,20 @@
+"""Experiment E2 — regenerate Table 2 (inverter truth table)."""
+
+from repro.algebra.tables import format_truth_table, paper_table2_inverter
+from repro.algebra.values import ALL_VALUES
+from repro.circuit.gates import GateType
+
+#: Table 2 of the paper, in the column order 0, 1, R, F, 0h, 1h, Rc, Fc.
+PAPER_TABLE2 = ["1", "0", "F", "R", "1h", "0h", "Fc", "Rc"]
+
+
+def test_bench_table2_inverter_truth_table(benchmark):
+    table = benchmark(paper_table2_inverter)
+    ours = [table[value.name] for value in ALL_VALUES]
+    assert ours == PAPER_TABLE2
+
+    print()
+    print("Table 2 — truth table for the inverter")
+    print(format_truth_table(GateType.NOT))
+    print("paper row:", " ".join(PAPER_TABLE2))
+    print("ours  row:", " ".join(ours))

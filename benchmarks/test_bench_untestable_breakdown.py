@@ -1,0 +1,65 @@
+"""Experiment E7 — the paper's section 6 observation on untestable faults.
+
+"It is remarkable that for some circuits the number of untestable faults is
+quite high.  Although some of these faults are combinationally redundant, a
+large part of these faults is only sequentially untestable."
+
+The benchmark runs campaigns on a subset of circuits and splits the untestable
+faults into *locally* untestable (TDgen proves no robust two-pattern test
+exists within the two local frames) and *sequentially* untestable (a local
+test exists, but propagation or initialisation is impossible).  The split is
+printed next to the aborted counts; how it compares with the paper's
+qualitative claim is discussed in EXPERIMENTS.md (E7) — in this
+reimplementation a large share of the hard sequential cases ends up in the
+aborted column because both engines stop at 100 backtracks.
+"""
+
+import pytest
+
+from repro.core.flow import SequentialDelayATPG
+from repro.core.reporting import format_untestable_breakdown
+from repro.data import load_circuit
+from repro.faults.model import enumerate_delay_faults, sample_faults
+
+from benchconfig import bench_max_faults, bench_scale
+
+_CIRCUITS = ["s27", "s298", "s386"]
+
+
+def _run(name):
+    circuit = load_circuit(name, scale=bench_scale())
+    faults = enumerate_delay_faults(circuit)
+    if name != "s27":
+        faults = sample_faults(faults, bench_max_faults())
+    campaign = SequentialDelayATPG(circuit).run(faults=faults)
+    campaign.circuit_name = name
+    return campaign
+
+
+def test_bench_untestable_breakdown(benchmark):
+    campaigns = benchmark.pedantic(
+        lambda: [_run(name) for name in _CIRCUITS], rounds=1, iterations=1
+    )
+
+    print()
+    print("Untestable fault breakdown (section 6 of the paper)")
+    print(format_untestable_breakdown(campaigns))
+
+    total_comb = sum(campaign.untestable_local for campaign in campaigns)
+    total_seq = sum(campaign.untestable_sequential for campaign in campaigns)
+    total_seq_aborted = sum(campaign.aborted_sequential for campaign in campaigns)
+    print(f"locally (combinationally) untestable: {total_comb}")
+    print(f"sequentially untestable:              {total_seq}")
+    print(f"aborted in a sequential phase:        {total_seq_aborted}")
+
+    # Structural checks: the breakdown is consistent with the campaign counts
+    # and the robust model does produce a substantial untestable population,
+    # which is the paper's headline observation.
+    assert total_comb + total_seq > 0
+    for campaign in campaigns:
+        assert (
+            campaign.untestable_local + campaign.untestable_sequential
+            <= campaign.untestable + campaign.aborted
+        )
+    untargeted_fraction = sum(c.tested for c in campaigns) / sum(c.total_faults for c in campaigns)
+    assert 0.0 <= untargeted_fraction <= 1.0

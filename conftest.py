@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. a fresh checkout where ``pip install -e .`` is not possible
+because the environment is offline and the ``wheel`` package is missing).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Print the eight-valued robust delay algebra (paper Tables 1 and 2).
+
+Shows the truth tables the local test generator TDgen is built on, explains
+the robustness rules they encode, and contrasts the robust tables with the
+relaxed non-robust variant mentioned in the paper's conclusions.
+
+Run with::
+
+    python examples/algebra_tables.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import GateType, format_truth_table
+from repro.algebra.tables import and2, or2
+from repro.algebra.values import ALL_VALUES, FC, RC, V1
+
+
+def main() -> None:
+    print("Eight-valued robust delay algebra")
+    print("=================================")
+    print()
+    print("values: 0, 1 (steady, hazard free)   R, F (rising / falling)")
+    print("        0h, 1h (steady with hazard)  Rc, Fc (transition carrying the fault effect)")
+    print()
+
+    print("Table 1 — AND gate")
+    print(format_truth_table(GateType.AND))
+    print()
+    print("Table 2 — inverter")
+    print(format_truth_table(GateType.NOT))
+    print()
+    print("Derived by De Morgan — OR gate")
+    print(format_truth_table(GateType.OR))
+    print()
+
+    print("Robustness rules encoded in Table 1:")
+    print("  * Rc AND x = Rc for every x whose final value is 1:")
+    row = ", ".join(f"{value.name}->{and2(RC, value).name}" for value in ALL_VALUES)
+    print(f"      {row}")
+    print("  * Fc AND x = Fc only for x = 1 (clean steady one) or x = Fc:")
+    row = ", ".join(f"{value.name}->{and2(FC, value).name}" for value in ALL_VALUES)
+    print(f"      {row}")
+    print()
+
+    print("Non-robust relaxation (paper, conclusions): Fc survives any final-one off-path value")
+    for value in ALL_VALUES:
+        robust = and2(FC, value, robust=True)
+        relaxed = and2(FC, value, robust=False)
+        marker = "  <-- relaxed" if robust is not relaxed else ""
+        print(f"  Fc AND {value.name:<3} robust: {robust.name:<3} non-robust: {relaxed.name:<3}{marker}")
+    print()
+
+    print("Dual rules for the OR gate (fault propagation needs final-zero off-path values):")
+    print(f"  Rc OR 0  = {or2(RC, ALL_VALUES[0]).name},  Rc OR 0h = {or2(RC, ALL_VALUES[4]).name}")
+    print(f"  Fc OR 0  = {or2(FC, ALL_VALUES[0]).name},  Fc OR 0h = {or2(FC, ALL_VALUES[4]).name}")
+
+
+if __name__ == "__main__":
+    main()

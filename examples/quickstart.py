@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: robust gate delay fault ATPG on the ISCAS'89 circuit s27.
+
+The script walks through the whole flow of the paper on the smallest ISCAS'89
+circuit:
+
+1. load the circuit and show its finite state machine decomposition
+   (paper Figure 1),
+2. generate a test for one gate delay fault and show the resulting vector
+   sequence with its slow/fast clock schedule (paper Figure 2),
+3. run the full campaign and print the Table 3 style summary row.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (
+    DelayFaultType,
+    GateDelayFault,
+    Line,
+    SequentialDelayATPG,
+    format_campaign_table,
+    load_circuit,
+    verify_test_sequence,
+)
+
+
+def show_fsm_decomposition(circuit) -> None:
+    """Print the finite state machine view of the circuit (Figure 1)."""
+    stats = circuit.stats()
+    print(f"Circuit {circuit.name}: {stats['gates']} gates, "
+          f"{stats['flip_flops']} flip-flops, {stats['lines']} fault-site lines")
+    print(f"  primary inputs  (PIs):  {', '.join(circuit.primary_inputs)}")
+    print(f"  primary outputs (POs):  {', '.join(circuit.primary_outputs)}")
+    print(f"  pseudo primary inputs  (PPIs, flip-flop outputs): "
+          f"{', '.join(circuit.pseudo_primary_inputs)}")
+    print(f"  pseudo primary outputs (PPOs, flip-flop data inputs): "
+          f"{', '.join(circuit.pseudo_primary_outputs)}")
+    print()
+
+
+def show_single_fault(circuit) -> None:
+    """Generate and display one complete test sequence (Figure 2 layout)."""
+    fault = GateDelayFault(Line("G13"), DelayFaultType.SLOW_TO_RISE)
+    print(f"Targeting fault: {fault}")
+    atpg = SequentialDelayATPG(circuit)
+    result = atpg.generate_for_fault(fault)
+    print(f"  outcome: {result.status.value} (ended in phase: {result.phase.value})")
+    if result.sequence is None:
+        print()
+        return
+
+    sequence = result.sequence
+    print(f"  observation point: {sequence.observation_point} "
+          f"({'primary output' if sequence.observed_at_po else 'via state register + propagation'})")
+    print(f"  clock schedule:    {sequence.clock_schedule}")
+    inputs = circuit.primary_inputs
+    print(f"  vectors ({', '.join(inputs)}):")
+    for index, (vector, speed) in enumerate(zip(sequence.vectors, sequence.clock_schedule.speeds)):
+        bits = "".join(str(vector.get(pi, 0)) for pi in inputs)
+        role = "test frame" if speed.value == "fast" else "slow frame"
+        print(f"    t{index}: {bits}   [{speed.value} clock, {role}]")
+    report = verify_test_sequence(circuit, sequence)
+    print(f"  independent gross-delay verification: "
+          f"{'fault detected at ' + str(report.primary_output) if report.detected else 'NOT detected'}")
+    print()
+
+
+def run_campaign(circuit) -> None:
+    """Run the full Table 3 style campaign on s27."""
+    print("Running the full campaign (every StR/StF fault on every stem and branch)...")
+    atpg = SequentialDelayATPG(circuit)
+    campaign = atpg.run()
+    print(format_campaign_table([campaign], title="s27 campaign (compare with Table 3, row s27)"))
+    print()
+    print(f"fault coverage:   {campaign.fault_coverage:.1%}")
+    print(f"fault efficiency: {campaign.fault_efficiency:.1%}")
+    breakdown = campaign.untestable_breakdown()
+    print(f"untestable split: {breakdown['combinationally_untestable']} local, "
+          f"{breakdown['sequentially_untestable']} sequential")
+
+
+def main() -> None:
+    circuit = load_circuit("s27")
+    show_fsm_decomposition(circuit)
+    show_single_fault(circuit)
+    run_campaign(circuit)
+
+
+if __name__ == "__main__":
+    main()

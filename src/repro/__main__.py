@@ -1,0 +1,113 @@
+"""Command line interface: ``python -m repro``.
+
+Subcommands:
+
+``campaign``
+    Run the full FOGBUSTER ATPG campaign on one or more benchmark circuits or
+    on a user supplied ``.bench`` file and print the Table 3 style summary.
+``tables``
+    Print the truth tables of the eight-valued robust delay algebra
+    (paper Tables 1 and 2).
+``circuits``
+    List the available benchmark circuits and their statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.circuit.bench import parse_bench_file
+from repro.circuit.gates import GateType
+from repro.algebra.tables import format_truth_table
+from repro.core.flow import SequentialDelayATPG
+from repro.core.reporting import format_campaign_table, format_untestable_breakdown
+from repro.data import circuit_spec, list_circuits, load_circuit
+
+
+def _add_campaign_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "campaign", help="run the ATPG campaign and print Table 3 style rows"
+    )
+    parser.add_argument(
+        "--circuits",
+        default="s27",
+        help="comma separated benchmark names, or a path to a .bench file",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="surrogate size scale")
+    parser.add_argument(
+        "--max-faults", type=int, default=0, help="cap on targeted faults (0 = no cap)"
+    )
+    parser.add_argument(
+        "--backtrack-limit", type=int, default=100, help="abort limit (paper: 100)"
+    )
+    parser.add_argument("--non-robust", action="store_true", help="use the non-robust model")
+    parser.add_argument("--time-limit", type=float, default=None, help="seconds per circuit")
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    campaigns = []
+    names = [name.strip() for name in args.circuits.split(",") if name.strip()]
+    for name in names:
+        if name.endswith(".bench"):
+            circuit = parse_bench_file(name)
+        else:
+            circuit = load_circuit(name, scale=args.scale)
+        atpg = SequentialDelayATPG(
+            circuit,
+            robust=not args.non_robust,
+            local_backtrack_limit=args.backtrack_limit,
+            sequential_backtrack_limit=args.backtrack_limit,
+        )
+        campaign = atpg.run(
+            max_target_faults=args.max_faults if args.max_faults > 0 else None,
+            time_limit_s=args.time_limit,
+        )
+        campaigns.append(campaign)
+    print(format_campaign_table(campaigns, title="Gate delay fault ATPG results"))
+    print()
+    print(format_untestable_breakdown(campaigns))
+    return 0
+
+
+def _run_tables(_: argparse.Namespace) -> int:
+    print("Table 1 — AND gate")
+    print(format_truth_table(GateType.AND))
+    print()
+    print("Table 2 — inverter")
+    print(format_truth_table(GateType.NOT))
+    return 0
+
+
+def _run_circuits(_: argparse.Namespace) -> int:
+    print(f"{'circuit':>8} {'PIs':>5} {'POs':>5} {'FFs':>5} {'gates':>6} {'source':>10}")
+    for name in list_circuits():
+        spec = circuit_spec(name)
+        source = "embedded" if not spec.surrogate else "surrogate"
+        print(
+            f"{name:>8} {spec.inputs:>5} {spec.outputs:>5} {spec.flip_flops:>5} "
+            f"{spec.gates:>6} {source:>10}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Gate delay fault ATPG for non-scan sequential circuits"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_campaign_parser(subparsers)
+    subparsers.add_parser("tables", help="print the algebra truth tables (Tables 1 and 2)")
+    subparsers.add_parser("circuits", help="list the available benchmark circuits")
+
+    args = parser.parse_args(argv)
+    if args.command == "campaign":
+        return _run_campaign(args)
+    if args.command == "tables":
+        return _run_tables(args)
+    return _run_circuits(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Value-set arithmetic over the eight-valued algebra.
+
+During local test generation every signal holds a *set* of still-possible
+values (paper section 3, following Rajski/Cox style necessary-assignment
+computation).  Sets are represented as 8-bit masks (bit *i* set means value
+with index *i* is possible), which keeps forward evaluation and backward
+implication cheap.
+
+Two operations are provided:
+
+* :func:`evaluate_gate_sets` — the image of a gate function over input sets
+  (forward implication),
+* :func:`backward_input_sets` — for each input, the subset of its values that
+  can still produce some value of the output set together with some value of
+  the other inputs (backward implication / necessary assignments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.algebra.tables import evaluate_delay_gate
+from repro.algebra.values import ALL_VALUES, DelayValue, FAULT_VALUES, PI_VALUES
+from repro.circuit.gates import GateType
+
+#: A value set is a plain int bit mask over the eight value indices.
+ValueSet = int
+
+EMPTY_SET: ValueSet = 0
+FULL_SET: ValueSet = (1 << len(ALL_VALUES)) - 1
+#: Values allowed on primary inputs and flip-flop outputs (hazard free,
+#: never fault-originating).
+PI_SET: ValueSet = 0
+for _value in PI_VALUES:
+    PI_SET |= _value.mask
+FAULT_SET: ValueSet = 0
+for _value in FAULT_VALUES:
+    FAULT_SET |= _value.mask
+
+
+def set_of(*values: DelayValue) -> ValueSet:
+    """Build a value set from explicit values."""
+    mask = 0
+    for value in values:
+        mask |= value.mask
+    return mask
+
+
+def members(value_set: ValueSet) -> List[DelayValue]:
+    """Expand a value set into the list of its members (in index order)."""
+    return [value for value in ALL_VALUES if value_set & value.mask]
+
+
+def is_singleton(value_set: ValueSet) -> bool:
+    """True if exactly one value is possible."""
+    return value_set != 0 and (value_set & (value_set - 1)) == 0
+
+
+def single_value(value_set: ValueSet) -> DelayValue:
+    """Return the unique member of a singleton set."""
+    if not is_singleton(value_set):
+        raise ValueError(f"value set {value_set:#04x} is not a singleton")
+    return members(value_set)[0]
+
+
+def contains(value_set: ValueSet, value: DelayValue) -> bool:
+    """True if ``value`` is a member of ``value_set``."""
+    return bool(value_set & value.mask)
+
+
+def has_fault_value(value_set: ValueSet) -> bool:
+    """True if the set contains a fault-carrying value (``Rc`` or ``Fc``)."""
+    return bool(value_set & FAULT_SET)
+
+
+def only_fault_values(value_set: ValueSet) -> bool:
+    """True if the set is non-empty and every member carries the fault effect."""
+    return value_set != 0 and (value_set & ~FAULT_SET) == 0
+
+
+# --------------------------------------------------------------------------- #
+# gate evaluation over sets
+# --------------------------------------------------------------------------- #
+_PAIR_CACHE: Dict[Tuple[GateType, bool, ValueSet, ValueSet], ValueSet] = {}
+
+
+def _pairwise_image(gate_type: GateType, left: ValueSet, right: ValueSet, robust: bool) -> ValueSet:
+    """Image of a two-input gate over two input sets (memoised)."""
+    key = (gate_type, robust, left, right)
+    cached = _PAIR_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = 0
+    for a in members(left):
+        for b in members(right):
+            result |= evaluate_delay_gate(gate_type, (a, b), robust).mask
+    _PAIR_CACHE[key] = result
+    return result
+
+
+def evaluate_gate_sets(
+    gate_type: GateType, input_sets: Sequence[ValueSet], robust: bool = True
+) -> ValueSet:
+    """Forward implication: the set of output values producible from the input sets.
+
+    Multi-input AND/OR/XOR families are folded pairwise, which is exact for
+    these associative gate functions.  An empty input set yields an empty
+    output set (a conflict upstream).
+    """
+    if any(value_set == 0 for value_set in input_sets):
+        return EMPTY_SET
+    if gate_type is GateType.BUF:
+        return input_sets[0]
+    if gate_type is GateType.NOT:
+        result = 0
+        for value in members(input_sets[0]):
+            result |= evaluate_delay_gate(GateType.NOT, (value,)).mask
+        return result
+
+    if gate_type in (GateType.AND, GateType.NAND):
+        core, invert = GateType.AND, gate_type is GateType.NAND
+    elif gate_type in (GateType.OR, GateType.NOR):
+        core, invert = GateType.OR, gate_type is GateType.NOR
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        core, invert = GateType.XOR, gate_type is GateType.XNOR
+    else:
+        raise ValueError(f"gate type {gate_type} is not combinationally evaluable")
+
+    result = input_sets[0]
+    for value_set in input_sets[1:]:
+        result = _pairwise_image(core, result, value_set, robust)
+    if invert:
+        inverted = 0
+        for value in members(result):
+            inverted |= evaluate_delay_gate(GateType.NOT, (value,)).mask
+        result = inverted
+    return result
+
+
+def backward_input_sets(
+    gate_type: GateType,
+    input_sets: Sequence[ValueSet],
+    output_set: ValueSet,
+    robust: bool = True,
+) -> List[ValueSet]:
+    """Backward implication: prune each input set against the output set.
+
+    For every input *i*, keep only the values ``v`` for which some choice of
+    the other inputs (within their current sets) makes the gate output fall in
+    ``output_set``.  Exact but exponential in fanin; fanins above a small
+    bound fall back to no pruning, which is sound (never removes a possible
+    value).
+    """
+    arity = len(input_sets)
+    if arity == 1:
+        allowed = 0
+        for value in members(input_sets[0]):
+            if contains(output_set, evaluate_delay_gate(gate_type, (value,), robust)):
+                allowed |= value.mask
+        return [allowed]
+
+    if arity > 4:
+        # Sound fallback: report the unchanged sets.
+        return list(input_sets)
+
+    pruned: List[ValueSet] = []
+    expanded = [members(value_set) for value_set in input_sets]
+    for position in range(arity):
+        allowed = 0
+        for candidate in expanded[position]:
+            if _exists_combination(gate_type, expanded, position, candidate, output_set, robust):
+                allowed |= candidate.mask
+        pruned.append(allowed)
+    return pruned
+
+
+def _exists_combination(
+    gate_type: GateType,
+    expanded: List[List[DelayValue]],
+    position: int,
+    candidate: DelayValue,
+    output_set: ValueSet,
+    robust: bool = True,
+) -> bool:
+    """Check whether some assignment of the other inputs reaches the output set."""
+
+    def recurse(index: int, chosen: List[DelayValue]) -> bool:
+        if index == len(expanded):
+            return contains(output_set, evaluate_delay_gate(gate_type, chosen, robust))
+        if index == position:
+            chosen.append(candidate)
+            result = recurse(index + 1, chosen)
+            chosen.pop()
+            return result
+        for value in expanded[index]:
+            chosen.append(value)
+            if recurse(index + 1, chosen):
+                chosen.pop()
+                return True
+            chosen.pop()
+        return False
+
+    return recurse(0, [])
+
+
+def format_set(value_set: ValueSet) -> str:
+    """Human readable rendering of a value set, e.g. ``{R, Rc}``."""
+    return "{" + ", ".join(value.name for value in members(value_set)) + "}"

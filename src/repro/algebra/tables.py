@@ -1,0 +1,208 @@
+"""Truth tables of the eight-valued robust delay algebra.
+
+The two-input AND table implements the semantics of the paper's Table 1; the
+inverter implements Table 2.  Every other primitive (OR, NAND, NOR, XOR,
+XNOR, BUF) is derived from these two by De Morgan's rules / two-level
+decomposition, exactly as the paper prescribes ("From these two truth tables
+the truth tables for the other primitive gates can be constructed using
+de Morgans rules").
+
+Key robustness rules encoded here (and asserted by the test-suite):
+
+* ``Rc`` propagates through an AND gate if every off-path input has a final
+  value of one (``1``, ``1h``, ``R`` or ``Rc``).
+* ``Fc`` propagates through an AND gate only if every off-path input is a
+  clean steady one (``1``) or carries the same falling fault (``Fc``).
+* ``Rc``/``Fc`` never appear at a gate output unless present at an input.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.algebra.values import (
+    ALL_VALUES,
+    DelayValue,
+    F,
+    FC,
+    H0,
+    H1,
+    R,
+    RC,
+    V0,
+    V1,
+)
+from repro.circuit.gates import GateType
+
+
+def _and2_semantics(a: DelayValue, b: DelayValue, robust: bool = True) -> DelayValue:
+    """Two-input AND following the paper's Table 1 semantics.
+
+    With ``robust=False`` the table is relaxed to the non-robust gate delay
+    fault model the paper's conclusions point to: the fault effect survives
+    whenever every off-path input has a non-controlling *final* value, even if
+    it transitions or may glitch.
+    """
+    # A clean steady zero input dominates: the output is a clean steady zero
+    # regardless of hazards or fault effects on the other input.
+    if a is V0 or b is V0:
+        return V0
+
+    initial = a.initial & b.initial
+    final = a.final & b.final
+
+    if initial != final:
+        rising = final == 1
+        carries = a.fault or b.fault
+        if carries:
+            if rising:
+                # Slow-to-rise effect: the output can only reach the good final
+                # value (1) if the fault site actually rose, so any off-path
+                # input with a final value of one preserves robustness.
+                return RC
+            if not robust:
+                # Non-robust model: a final value of one on the off-path input
+                # is enough (test may be invalidated by hazards).
+                return FC
+            # Slow-to-fall effect: a hazard or late transition on an off-path
+            # input could pull the output to the good final value (0) even
+            # though the fault site is still high, invalidating the test.
+            # Robustness therefore requires every non-carrying input to be a
+            # clean steady one.
+            off_path_ok = all(value.fault or value is V1 for value in (a, b))
+            return FC if off_path_ok else F
+        return R if rising else F
+
+    if final == 1:
+        # Both inputs are steady one; a hazard on either can glitch the output.
+        return H1 if (a.hazard or b.hazard) else V1
+
+    # Steady zero output without a clean steady zero input: transitions or
+    # hazards on the inputs can momentarily drive the output high.
+    return H0
+
+
+def not1(value: DelayValue) -> DelayValue:
+    """Inverter truth table (paper Table 2)."""
+    return _NOT_TABLE[value]
+
+
+_NOT_TABLE: Dict[DelayValue, DelayValue] = {
+    V0: V1,
+    V1: V0,
+    R: F,
+    F: R,
+    H0: H1,
+    H1: H0,
+    RC: FC,
+    FC: RC,
+}
+
+# Precompute the 8x8 AND tables once; everything else folds over them.
+_AND_TABLE: Dict[Tuple[DelayValue, DelayValue], DelayValue] = {
+    (a, b): _and2_semantics(a, b, robust=True) for a in ALL_VALUES for b in ALL_VALUES
+}
+_AND_TABLE_NONROBUST: Dict[Tuple[DelayValue, DelayValue], DelayValue] = {
+    (a, b): _and2_semantics(a, b, robust=False) for a in ALL_VALUES for b in ALL_VALUES
+}
+
+
+def and2(a: DelayValue, b: DelayValue, robust: bool = True) -> DelayValue:
+    """Two-input AND (paper Table 1)."""
+    table = _AND_TABLE if robust else _AND_TABLE_NONROBUST
+    return table[(a, b)]
+
+
+def or2(a: DelayValue, b: DelayValue, robust: bool = True) -> DelayValue:
+    """Two-input OR, derived via De Morgan from the AND table."""
+    return not1(and2(not1(a), not1(b), robust))
+
+
+def xor2(a: DelayValue, b: DelayValue, robust: bool = True) -> DelayValue:
+    """Two-input XOR, derived from the two-level AND/OR decomposition."""
+    return or2(and2(a, not1(b), robust), and2(not1(a), b, robust), robust)
+
+
+def _reduce(pairwise, values: Sequence[DelayValue], robust: bool) -> DelayValue:
+    result = values[0]
+    for value in values[1:]:
+        result = pairwise(result, value, robust)
+    return result
+
+
+def evaluate_delay_gate(
+    gate_type: GateType, inputs: Sequence[DelayValue], robust: bool = True
+) -> DelayValue:
+    """Evaluate a combinational gate in the eight-valued algebra.
+
+    Multi-input gates fold the two-input tables associatively; the inverting
+    types apply the inverter table to the non-inverted core.
+    """
+    if not inputs:
+        raise ValueError(f"{gate_type.value} gate with no inputs")
+    if gate_type is GateType.BUF:
+        if len(inputs) != 1:
+            raise ValueError("BUF expects exactly one input")
+        return inputs[0]
+    if gate_type is GateType.NOT:
+        if len(inputs) != 1:
+            raise ValueError("NOT expects exactly one input")
+        return not1(inputs[0])
+    if gate_type is GateType.AND:
+        return _reduce(and2, inputs, robust)
+    if gate_type is GateType.NAND:
+        return not1(_reduce(and2, inputs, robust))
+    if gate_type is GateType.OR:
+        return _reduce(or2, inputs, robust)
+    if gate_type is GateType.NOR:
+        return not1(_reduce(or2, inputs, robust))
+    if gate_type is GateType.XOR:
+        return _reduce(xor2, inputs, robust)
+    if gate_type is GateType.XNOR:
+        return not1(_reduce(xor2, inputs, robust))
+    raise ValueError(f"gate type {gate_type} is not combinationally evaluable")
+
+
+@functools.lru_cache(maxsize=None)
+def table_for_gate(
+    gate_type: GateType, robust: bool = True
+) -> Dict[Tuple[DelayValue, DelayValue], DelayValue]:
+    """Return the full two-input truth table of a gate type as a dictionary."""
+    if gate_type in (GateType.NOT, GateType.BUF):
+        raise ValueError("single-input gates have no two-input table")
+    return {
+        (a, b): evaluate_delay_gate(gate_type, (a, b), robust)
+        for a in ALL_VALUES
+        for b in ALL_VALUES
+    }
+
+
+def format_truth_table(gate_type: GateType) -> str:
+    """Render the two-input truth table of a gate in the style of Table 1.
+
+    Rows and columns are ordered ``0, 1, R, F, 0h, 1h, Rc, Fc``.  Used by the
+    examples and the Table 1 / Table 2 regeneration benchmarks.
+    """
+    if gate_type is GateType.NOT:
+        header = " ".join(f"{value.name:>3}" for value in ALL_VALUES)
+        row = " ".join(f"{not1(value).name:>3}" for value in ALL_VALUES)
+        return f"NOT  {header}\n     {row}"
+    table = table_for_gate(gate_type)
+    lines: List[str] = []
+    header = " ".join(f"{value.name:>3}" for value in ALL_VALUES)
+    lines.append(f"{gate_type.value:<4} {header}")
+    for a in ALL_VALUES:
+        cells = " ".join(f"{table[(a, b)].name:>3}" for b in ALL_VALUES)
+        lines.append(f"{a.name:<4} {cells}")
+    return "\n".join(lines)
+
+
+def paper_table1_and() -> Dict[Tuple[str, str], str]:
+    """The AND-gate truth table keyed and valued by printable names (Table 1)."""
+    return {(a.name, b.name): and2(a, b).name for a in ALL_VALUES for b in ALL_VALUES}
+
+
+def paper_table2_inverter() -> Dict[str, str]:
+    """The inverter truth table keyed and valued by printable names (Table 2)."""
+    return {value.name: not1(value).name for value in ALL_VALUES}

@@ -1,0 +1,137 @@
+"""The eight values of the robust delay test algebra.
+
+Each value is characterised by four semantic attributes:
+
+* ``initial`` — the settled logic value in the first (initialisation) frame,
+* ``final`` — the settled logic value in the second (test) frame,
+* ``hazard`` — whether a temporary excursion from the steady value is possible,
+* ``fault`` — whether the signal carries the targeted delay fault effect.
+
+Transitions (``R``, ``F``, ``Rc``, ``Fc``) have no separate hazard attribute:
+the algebra does not distinguish hazard-free from hazardous transitions; the
+robustness of fault propagation is enforced solely through the ``Rc``/``Fc``
+truth-table rules (paper Table 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class DelayValue:
+    """A single value of the eight-valued algebra.
+
+    Instances are interned; use the module level constants (``V0``, ``V1``,
+    ``R``, ``F``, ``H0``, ``H1``, ``RC``, ``FC``) or the lookup helpers, never
+    construct new instances.
+    """
+
+    index: int
+    name: str
+    initial: int
+    final: int
+    hazard: bool
+    fault: bool
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<{self.name}>"
+
+    @property
+    def mask(self) -> int:
+        """Bit mask of this value, for use in :class:`repro.algebra.sets.ValueSet`."""
+        return 1 << self.index
+
+    @property
+    def is_steady(self) -> bool:
+        """True for values whose initial and final frame values are equal."""
+        return self.initial == self.final
+
+    @property
+    def is_transition(self) -> bool:
+        """True for rising/falling values (fault carrying or not)."""
+        return self.initial != self.final
+
+    @property
+    def is_rising(self) -> bool:
+        return self.initial == 0 and self.final == 1
+
+    @property
+    def is_falling(self) -> bool:
+        return self.initial == 1 and self.final == 0
+
+    @property
+    def is_hazard_free_steady(self) -> bool:
+        """True for the clean steady values ``0`` and ``1``."""
+        return self.is_steady and not self.hazard
+
+    def strip_fault(self) -> "DelayValue":
+        """Return the same waveform without the fault-effect marker."""
+        if not self.fault:
+            return self
+        return R if self.is_rising else F
+
+    def with_fault(self) -> "DelayValue":
+        """Return the fault-carrying variant (only defined for transitions)."""
+        if self.fault:
+            return self
+        if self is R:
+            return RC
+        if self is F:
+            return FC
+        raise ValueError(f"{self.name} cannot carry a fault effect (not a transition)")
+
+
+V0 = DelayValue(0, "0", 0, 0, False, False)
+V1 = DelayValue(1, "1", 1, 1, False, False)
+R = DelayValue(2, "R", 0, 1, False, False)
+F = DelayValue(3, "F", 1, 0, False, False)
+H0 = DelayValue(4, "0h", 0, 0, True, False)
+H1 = DelayValue(5, "1h", 1, 1, True, False)
+RC = DelayValue(6, "Rc", 0, 1, False, True)
+FC = DelayValue(7, "Fc", 1, 0, False, True)
+
+ALL_VALUES: Tuple[DelayValue, ...] = (V0, V1, R, F, H0, H1, RC, FC)
+TRANSITION_VALUES: Tuple[DelayValue, ...] = (R, F, RC, FC)
+FAULT_VALUES: Tuple[DelayValue, ...] = (RC, FC)
+STEADY_VALUES: Tuple[DelayValue, ...] = (V0, V1, H0, H1)
+#: Values a primary input may take: PIs are hazard free and never originate
+#: the fault effect (the fault effect is injected at the fault site only).
+PI_VALUES: Tuple[DelayValue, ...] = (V0, V1, R, F)
+
+_BY_NAME: Dict[str, DelayValue] = {value.name: value for value in ALL_VALUES}
+_BY_NAME.update({"0H": H0, "1H": H1, "RC": RC, "FC": FC, "r": R, "f": F})
+
+
+def value_from_name(name: str) -> DelayValue:
+    """Look up a value by its printable name (``"0"``, ``"Rc"``, ``"1h"``, ...)."""
+    key = name.strip()
+    if key in _BY_NAME:
+        return _BY_NAME[key]
+    if key.lower() in ("0h", "1h"):
+        return H0 if key.lower() == "0h" else H1
+    raise KeyError(f"unknown delay algebra value {name!r}")
+
+
+def value_from_pair(initial: Optional[int], final: Optional[int], hazard: bool = False) -> DelayValue:
+    """Build a (non fault-carrying) value from its per-frame logic values.
+
+    Both ``initial`` and ``final`` must be 0 or 1.  Transitions ignore the
+    ``hazard`` flag (the algebra has no hazardous-transition values).
+    """
+    if initial not in (0, 1) or final not in (0, 1):
+        raise ValueError(f"frame values must be 0 or 1, got ({initial!r}, {final!r})")
+    if initial == final:
+        if initial == 0:
+            return H0 if hazard else V0
+        return H1 if hazard else V1
+    return R if final == 1 else F
+
+
+def pi_value(initial: int, final: int) -> DelayValue:
+    """Value of a primary input given the two test vectors (always hazard free)."""
+    return value_from_pair(initial, final, hazard=False)

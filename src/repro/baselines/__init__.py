@@ -1,0 +1,25 @@
+"""Baseline test generation strategies used for comparison benchmarks.
+
+The paper itself has no quantitative baseline (there was no comparable
+sequential delay-fault ATPG at the time); these baselines exist to put the
+deterministic FOGBUSTER flow in context:
+
+* :class:`repro.baselines.random_atpg.RandomSequenceATPG` — random input
+  sequences with a fast frame at a random position, graded by the same delay
+  fault simulator;
+* :class:`repro.baselines.scan_atpg.EnhancedScanATPG` — assumes an
+  enhanced-scan environment where the state is directly controllable and
+  observable (the approach of the prior combinational/scan work the paper
+  contrasts itself with), i.e. TDgen alone with PPIs treated as inputs and
+  PPOs as outputs.
+"""
+
+from repro.baselines.random_atpg import RandomSequenceATPG, RandomCampaignResult
+from repro.baselines.scan_atpg import EnhancedScanATPG, ScanCampaignResult
+
+__all__ = [
+    "RandomSequenceATPG",
+    "RandomCampaignResult",
+    "EnhancedScanATPG",
+    "ScanCampaignResult",
+]

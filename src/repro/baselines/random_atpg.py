@@ -1,0 +1,122 @@
+"""Random-sequence baseline for non-scan delay fault testing.
+
+The baseline applies pseudo-random input sequences to the circuit, declares
+one frame of each sequence the fast (test) frame, and grades the sequence
+with the same machinery the deterministic flow uses: the gross-delay
+verification of :mod:`repro.core.verify`.  It provides the classic
+"how much does deterministic ATPG buy over random patterns" comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.core.clocking import ClockSchedule
+from repro.core.results import TestSequence
+from repro.core.verify import verify_test_sequence
+from repro.faults.model import FaultList, FaultStatus, GateDelayFault, enumerate_delay_faults
+
+
+@dataclasses.dataclass
+class RandomCampaignResult:
+    """Coverage achieved by the random baseline."""
+
+    circuit_name: str
+    total_faults: int
+    detected: int
+    sequences_applied: int
+    pattern_count: int
+    cpu_seconds: float
+
+    @property
+    def fault_coverage(self) -> float:
+        return self.detected / self.total_faults if self.total_faults else 0.0
+
+
+class RandomSequenceATPG:
+    """Random two-pattern / sequence generator graded by gross-delay simulation.
+
+    Args:
+        circuit: circuit under test.
+        sequence_length: total frames per random sequence (initialisation
+            frames + the two-pattern test + propagation frames).
+        seed: seed of the pseudo-random generator.
+    """
+
+    def __init__(self, circuit: Circuit, sequence_length: int = 8, seed: int = 1) -> None:
+        if sequence_length < 2:
+            raise ValueError("a delay test needs at least two frames")
+        self.circuit = circuit
+        self.sequence_length = sequence_length
+        self.seed = seed
+
+    def _random_vector(self, rng: random.Random) -> Dict[str, int]:
+        return {pi: rng.randint(0, 1) for pi in self.circuit.primary_inputs}
+
+    def _random_sequence(self, rng: random.Random, fault: GateDelayFault) -> TestSequence:
+        vectors = [self._random_vector(rng) for _ in range(self.sequence_length)]
+        fast_index = rng.randint(1, self.sequence_length - 1)
+        schedule = ClockSchedule.for_sequence(
+            initialization_frames=fast_index - 1,
+            propagation_frames=self.sequence_length - fast_index - 1,
+        )
+        return TestSequence(
+            fault=fault,
+            initialization_vectors=vectors[: fast_index - 1],
+            v1=vectors[fast_index - 1],
+            v2=vectors[fast_index],
+            propagation_vectors=vectors[fast_index + 1 :],
+            clock_schedule=schedule,
+            observation_point="",
+            observed_at_po=True,
+        )
+
+    def run(
+        self,
+        faults: Optional[Sequence[GateDelayFault]] = None,
+        max_sequences: int = 200,
+        target_coverage: float = 1.0,
+    ) -> RandomCampaignResult:
+        """Apply random sequences until the budget or the coverage target is hit.
+
+        Every random sequence is graded against every still-undetected fault
+        with the gross-delay check (a detected gross delay fault is the
+        necessary condition the deterministic flow also guarantees).
+        """
+        fault_universe = list(faults) if faults is not None else enumerate_delay_faults(self.circuit)
+        fault_list = FaultList(fault_universe)
+        rng = random.Random(self.seed)
+        start = time.perf_counter()
+        sequences_applied = 0
+        pattern_count = 0
+
+        for _ in range(max_sequences):
+            if fault_list.coverage() >= target_coverage:
+                break
+            remaining = fault_list.untargeted()
+            if not remaining:
+                break
+            template_fault = remaining[0]
+            sequence = self._random_sequence(rng, template_fault)
+            sequences_applied += 1
+            pattern_count += sequence.pattern_count
+            detected: List[GateDelayFault] = []
+            for fault in remaining:
+                candidate = dataclasses.replace(sequence, fault=fault)
+                if verify_test_sequence(self.circuit, candidate).detected:
+                    detected.append(fault)
+            fault_list.mark_tested(detected)
+
+        counts = fault_list.counts()
+        return RandomCampaignResult(
+            circuit_name=self.circuit.name,
+            total_faults=counts["total"],
+            detected=counts[FaultStatus.TESTED.value],
+            sequences_applied=sequences_applied,
+            pattern_count=pattern_count,
+            cpu_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,39 @@
+"""Gate-level circuit substrate.
+
+This package provides the structural netlist model that every other part of
+the reproduction is built on: primitive gates, D flip-flops, explicit fanout
+branches, ISCAS'89 ``.bench`` parsing/writing, levelisation of the
+combinational core and a small programmatic builder API.
+
+The model follows the finite state machine view of the paper (Figure 1): a
+synchronous sequential circuit is a combinational block whose inputs are the
+primary inputs (PIs) plus the pseudo primary inputs (PPIs, the flip-flop
+outputs) and whose outputs are the primary outputs (POs) plus the pseudo
+primary outputs (PPOs, the flip-flop data inputs).
+"""
+
+from repro.circuit.gates import GateType, evaluate_gate, controlling_value, inversion_parity
+from repro.circuit.netlist import Circuit, Gate, Line, LineKind
+from repro.circuit.bench import parse_bench, parse_bench_file, write_bench
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.levelize import levelize, combinational_order
+from repro.circuit.validate import validate_circuit, CircuitValidationError
+
+__all__ = [
+    "GateType",
+    "evaluate_gate",
+    "controlling_value",
+    "inversion_parity",
+    "Circuit",
+    "Gate",
+    "Line",
+    "LineKind",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "CircuitBuilder",
+    "levelize",
+    "combinational_order",
+    "validate_circuit",
+    "CircuitValidationError",
+]

@@ -1,0 +1,134 @@
+"""ISCAS'89 ``.bench`` format parser and writer.
+
+The ``.bench`` format is the de-facto exchange format of the ISCAS'85/'89
+benchmark suites::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G14 = NOT(G0)
+    G8 = AND(G14, G6)
+
+Gate aliases ``BUFF`` and ``INV`` are accepted.  The parser is permissive
+about whitespace and case but strict about undefined signals and duplicate
+definitions (checked by :func:`repro.circuit.validate.validate_circuit`).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.circuit.gates import GateType, gate_type_from_name
+from repro.circuit.netlist import Circuit
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$")
+
+
+class BenchParseError(ValueError):
+    """Raised when a ``.bench`` description cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int = 0, line: str = "") -> None:
+        location = f" (line {line_number}: {line.strip()!r})" if line_number else ""
+        super().__init__(message + location)
+        self.line_number = line_number
+        self.line = line
+
+
+def parse_bench(text: Union[str, Iterable[str]], name: str = "circuit") -> Circuit:
+    """Parse a ``.bench`` netlist from a string or an iterable of lines."""
+    if isinstance(text, str):
+        lines = text.splitlines()
+    else:
+        lines = list(text)
+
+    circuit = Circuit(name)
+    pending_outputs: List[str] = []
+
+    for number, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, signal = io_match.group(1).upper(), io_match.group(2)
+            if keyword == "INPUT":
+                if signal in circuit:
+                    raise BenchParseError(f"duplicate definition of {signal!r}", number, raw)
+                circuit.add_input(signal)
+            else:
+                pending_outputs.append(signal)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            output, type_name, args = gate_match.groups()
+            try:
+                gate_type = gate_type_from_name(type_name)
+            except ValueError as exc:
+                raise BenchParseError(str(exc), number, raw) from exc
+            fanin = [arg.strip() for arg in args.split(",") if arg.strip()]
+            if not fanin:
+                raise BenchParseError(f"gate {output!r} has no inputs", number, raw)
+            if gate_type is GateType.DFF and len(fanin) != 1:
+                raise BenchParseError(f"DFF {output!r} must have exactly one input", number, raw)
+            if output in circuit:
+                raise BenchParseError(f"duplicate definition of {output!r}", number, raw)
+            circuit.add_gate(output, gate_type, fanin)
+            continue
+        raise BenchParseError("unrecognised statement", number, raw)
+
+    for signal in pending_outputs:
+        circuit.add_output(signal)
+
+    _check_references(circuit)
+    return circuit
+
+
+def parse_bench_file(path: Union[str, Path], name: str = "") -> Circuit:
+    """Parse a ``.bench`` file from disk."""
+    path = Path(path)
+    text = path.read_text()
+    return parse_bench(text, name or path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialise a circuit back into ``.bench`` text.
+
+    Gates are emitted in definition order; the output is accepted by
+    :func:`parse_bench` (round-trip safe).
+    """
+    lines: List[str] = [f"# {circuit.name}"]
+    stats = circuit.stats()
+    lines.append(
+        f"# {stats['primary_inputs']} inputs, {stats['primary_outputs']} outputs, "
+        f"{stats['flip_flops']} D-type flipflops, {stats['gates']} gates"
+    )
+    for pi in circuit.primary_inputs:
+        lines.append(f"INPUT({pi})")
+    lines.append("")
+    for po in circuit.primary_outputs:
+        lines.append(f"OUTPUT({po})")
+    lines.append("")
+    for gate in circuit.gates.values():
+        if gate.is_input:
+            continue
+        type_name = "BUFF" if gate.gate_type is GateType.BUF else gate.gate_type.value
+        lines.append(f"{gate.name} = {type_name}({', '.join(gate.fanin)})")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _check_references(circuit: Circuit) -> None:
+    """Verify that every referenced signal is defined."""
+    for gate in circuit.gates.values():
+        for source in gate.fanin:
+            if source not in circuit:
+                raise BenchParseError(
+                    f"gate {gate.name!r} references undefined signal {source!r}"
+                )
+    for po in circuit.primary_outputs:
+        if po not in circuit:
+            raise BenchParseError(f"primary output {po!r} is never driven")

@@ -1,0 +1,101 @@
+"""Programmatic circuit construction API.
+
+:class:`CircuitBuilder` offers a small fluent interface for building circuits
+in tests, examples and the surrogate benchmark generator without writing
+``.bench`` text by hand::
+
+    builder = CircuitBuilder("toggle")
+    clk_in = builder.input("enable")
+    state = builder.dff("q", "next_q")       # declares the PPI, data hooked later
+    builder.xor("next_q", ["enable", "q"])
+    builder.output("q")
+    circuit = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.validate import validate_circuit
+
+
+class CircuitBuilder:
+    """Incremental builder with validation at :meth:`build` time."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self._circuit = Circuit(name)
+        self._deferred_dffs: List[tuple] = []
+
+    # -- sources ---------------------------------------------------------
+    def input(self, name: str) -> str:
+        """Declare a primary input and return its signal name."""
+        self._circuit.add_input(name)
+        return name
+
+    def inputs(self, names: Iterable[str]) -> List[str]:
+        """Declare several primary inputs."""
+        return [self.input(name) for name in names]
+
+    def dff(self, output: str, data: str) -> str:
+        """Declare a D flip-flop driving ``output`` and latching ``data``.
+
+        ``data`` may be defined later; the connection is resolved at build
+        time.
+        """
+        self._deferred_dffs.append((output, data))
+        return output
+
+    # -- gates -----------------------------------------------------------
+    def gate(self, gate_type: GateType, output: str, fanin: Sequence[str]) -> str:
+        """Add an arbitrary combinational gate."""
+        self._deferred_gate(output, gate_type, fanin)
+        return output
+
+    def and_(self, output: str, fanin: Sequence[str]) -> str:
+        return self.gate(GateType.AND, output, fanin)
+
+    def nand(self, output: str, fanin: Sequence[str]) -> str:
+        return self.gate(GateType.NAND, output, fanin)
+
+    def or_(self, output: str, fanin: Sequence[str]) -> str:
+        return self.gate(GateType.OR, output, fanin)
+
+    def nor(self, output: str, fanin: Sequence[str]) -> str:
+        return self.gate(GateType.NOR, output, fanin)
+
+    def xor(self, output: str, fanin: Sequence[str]) -> str:
+        return self.gate(GateType.XOR, output, fanin)
+
+    def xnor(self, output: str, fanin: Sequence[str]) -> str:
+        return self.gate(GateType.XNOR, output, fanin)
+
+    def not_(self, output: str, source: str) -> str:
+        return self.gate(GateType.NOT, output, [source])
+
+    def buf(self, output: str, source: str) -> str:
+        return self.gate(GateType.BUF, output, [source])
+
+    # -- sinks -----------------------------------------------------------
+    def output(self, name: str) -> str:
+        """Mark a signal as a primary output."""
+        self._circuit.add_output(name)
+        return name
+
+    def outputs(self, names: Iterable[str]) -> List[str]:
+        return [self.output(name) for name in names]
+
+    # -- finalisation ----------------------------------------------------
+    def build(self, validate: bool = True) -> Circuit:
+        """Resolve deferred flip-flops, optionally validate, and return the circuit."""
+        for output, data in self._deferred_dffs:
+            self._circuit.add_gate(output, GateType.DFF, [data])
+        self._deferred_dffs = []
+        if validate:
+            validate_circuit(self._circuit)
+        return self._circuit
+
+    # -- internals -------------------------------------------------------
+    def _deferred_gate(self, output: str, gate_type: GateType, fanin: Sequence[str]) -> None:
+        self._circuit.add_gate(output, gate_type, list(fanin))

@@ -1,0 +1,162 @@
+"""Primitive gate types and their Boolean semantics.
+
+The gate set is the ISCAS'89 primitive library: AND, NAND, OR, NOR, NOT,
+BUF, XOR, XNOR plus the sequential DFF element.  All combinational
+evaluation helpers in this module operate on three-valued logic encoded as
+``0``, ``1`` and ``None`` (unknown / X), which is the encoding used by the
+good-machine simulator and the sequential engines.  The eight-valued robust
+delay algebra lives in :mod:`repro.algebra` and has its own evaluation
+tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+
+class GateType(enum.Enum):
+    """Primitive cell types supported by the netlist model."""
+
+    INPUT = "INPUT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    DFF = "DFF"
+
+    @property
+    def is_sequential(self) -> bool:
+        """``True`` for state elements (D flip-flops)."""
+        return self is GateType.DFF
+
+    @property
+    def is_combinational(self) -> bool:
+        """``True`` for every gate that is neither an input nor a DFF."""
+        return self not in (GateType.INPUT, GateType.DFF)
+
+    @property
+    def is_inverting(self) -> bool:
+        """``True`` if the gate output is the complement of its AND/OR/XOR core."""
+        return self in (GateType.NAND, GateType.NOR, GateType.NOT, GateType.XNOR)
+
+
+_ALIASES = {
+    "BUFF": GateType.BUF,
+    "BUFFER": GateType.BUF,
+    "INV": GateType.NOT,
+    "INVERTER": GateType.NOT,
+    "FF": GateType.DFF,
+    "DFFSR": GateType.DFF,
+}
+
+
+def gate_type_from_name(name: str) -> GateType:
+    """Translate a (case-insensitive) cell name into a :class:`GateType`.
+
+    Accepts the common aliases found in ``.bench`` files (``BUFF``, ``INV``).
+    """
+    upper = name.strip().upper()
+    if upper in _ALIASES:
+        return _ALIASES[upper]
+    try:
+        return GateType(upper)
+    except ValueError as exc:
+        raise ValueError(f"unknown gate type: {name!r}") from exc
+
+
+def controlling_value(gate_type: GateType) -> Optional[int]:
+    """Return the controlling input value of a gate, or ``None`` if it has none.
+
+    A controlling value on any input fully determines the gate output
+    (0 for AND/NAND, 1 for OR/NOR).  XOR-family gates and single-input gates
+    have no controlling value.
+    """
+    if gate_type in (GateType.AND, GateType.NAND):
+        return 0
+    if gate_type in (GateType.OR, GateType.NOR):
+        return 1
+    return None
+
+
+def non_controlling_value(gate_type: GateType) -> Optional[int]:
+    """Return the non-controlling input value of a gate, or ``None``."""
+    ctrl = controlling_value(gate_type)
+    if ctrl is None:
+        return None
+    return 1 - ctrl
+
+
+def inversion_parity(gate_type: GateType) -> int:
+    """Return ``1`` if the gate inverts (NAND/NOR/NOT/XNOR), ``0`` otherwise."""
+    return 1 if gate_type.is_inverting else 0
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[Optional[int]]) -> Optional[int]:
+    """Evaluate a combinational gate in three-valued (0/1/X) logic.
+
+    ``None`` encodes the unknown value X.  The evaluation is the standard
+    pessimistic three-valued semantics: a controlling value forces the output
+    even when other inputs are unknown, otherwise any unknown input makes the
+    output unknown.
+
+    DFF and INPUT types cannot be evaluated combinationally and raise
+    ``ValueError``.
+    """
+    if gate_type is GateType.BUF:
+        _require_arity(gate_type, inputs, 1)
+        return inputs[0]
+    if gate_type is GateType.NOT:
+        _require_arity(gate_type, inputs, 1)
+        return None if inputs[0] is None else 1 - inputs[0]
+    if gate_type in (GateType.AND, GateType.NAND):
+        value = _and_reduce(inputs)
+    elif gate_type in (GateType.OR, GateType.NOR):
+        value = _or_reduce(inputs)
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        value = _xor_reduce(inputs)
+    else:
+        raise ValueError(f"gate type {gate_type} is not combinationally evaluable")
+    if value is None:
+        return None
+    return 1 - value if gate_type.is_inverting else value
+
+
+def _require_arity(gate_type: GateType, inputs: Sequence[Optional[int]], arity: int) -> None:
+    if len(inputs) != arity:
+        raise ValueError(f"{gate_type.value} expects {arity} input(s), got {len(inputs)}")
+
+
+def _and_reduce(inputs: Sequence[Optional[int]]) -> Optional[int]:
+    if not inputs:
+        raise ValueError("AND/NAND gate with no inputs")
+    if any(value == 0 for value in inputs):
+        return 0
+    if any(value is None for value in inputs):
+        return None
+    return 1
+
+
+def _or_reduce(inputs: Sequence[Optional[int]]) -> Optional[int]:
+    if not inputs:
+        raise ValueError("OR/NOR gate with no inputs")
+    if any(value == 1 for value in inputs):
+        return 1
+    if any(value is None for value in inputs):
+        return None
+    return 0
+
+
+def _xor_reduce(inputs: Sequence[Optional[int]]) -> Optional[int]:
+    if not inputs:
+        raise ValueError("XOR/XNOR gate with no inputs")
+    parity = 0
+    for value in inputs:
+        if value is None:
+            return None
+        parity ^= value
+    return parity

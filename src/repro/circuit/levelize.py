@@ -1,0 +1,84 @@
+"""Levelisation of the combinational block.
+
+The combinational block of the finite state machine model has the primary
+inputs and the pseudo primary inputs (flip-flop outputs) as sources.  All
+engines (logic simulation, the eight-valued delay algebra simulation, fault
+simulation and critical path tracing) evaluate gates in topological order of
+this block; this module computes that order once per circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuit.netlist import Circuit
+
+
+class CombinationalLoopError(ValueError):
+    """Raised when the combinational block contains a cycle not broken by a DFF."""
+
+
+def levelize(circuit: Circuit) -> Dict[str, int]:
+    """Assign a level to every signal of the combinational block.
+
+    Primary inputs and PPIs are level 0; every combinational gate is one more
+    than the maximum level of its fanin.  DFFs themselves are not levelled
+    (their outputs are sources, their inputs are ordinary combinational
+    signals).
+    """
+    levels: Dict[str, int] = {}
+    for signal in circuit.primary_inputs:
+        levels[signal] = 0
+    for ppi in circuit.pseudo_primary_inputs:
+        levels[ppi] = 0
+
+    order = combinational_order(circuit)
+    for name in order:
+        gate = circuit.gate(name)
+        levels[name] = 1 + max(levels[source] for source in gate.fanin)
+    return levels
+
+
+def combinational_order(circuit: Circuit) -> List[str]:
+    """Return the combinational gates in topological evaluation order.
+
+    Raises :class:`CombinationalLoopError` if a purely combinational cycle is
+    found (feedback must always go through a flip-flop).
+    """
+    in_degree: Dict[str, int] = {}
+    dependants: Dict[str, List[str]] = {name: [] for name in circuit.gates}
+    sources = set(circuit.primary_inputs) | set(circuit.pseudo_primary_inputs)
+
+    combinational = [gate.name for gate in circuit.combinational_gates]
+    for name in combinational:
+        gate = circuit.gate(name)
+        degree = 0
+        for source in gate.fanin:
+            if source in sources:
+                continue
+            degree += 1
+            dependants[source].append(name)
+        in_degree[name] = degree
+
+    ready = [name for name in combinational if in_degree[name] == 0]
+    order: List[str] = []
+    while ready:
+        name = ready.pop()
+        order.append(name)
+        for dependant in dependants[name]:
+            in_degree[dependant] -= 1
+            if in_degree[dependant] == 0:
+                ready.append(dependant)
+
+    if len(order) != len(combinational):
+        unresolved = sorted(set(combinational) - set(order))
+        raise CombinationalLoopError(
+            f"combinational loop involving signals: {', '.join(unresolved[:10])}"
+        )
+    return order
+
+
+def max_level(circuit: Circuit) -> int:
+    """Return the depth of the combinational block (0 for a wire-only circuit)."""
+    levels = levelize(circuit)
+    return max(levels.values()) if levels else 0

@@ -1,0 +1,298 @@
+"""Structural netlist model for synchronous sequential circuits.
+
+The model is signal-name centric, matching the ISCAS'89 ``.bench`` format:
+every gate produces exactly one output signal whose name identifies the gate,
+primary inputs are signals without a driver, and D flip-flops connect a
+pseudo primary output (their data input signal) to a pseudo primary input
+(their output signal).
+
+Fault sites follow the paper's gate delay fault model: every signal *stem*
+(gate output or primary input) and every *fanout branch* (a stem feeding a
+particular input pin of a particular gate, when the stem drives more than one
+sink) is a distinct :class:`Line` that can carry a slow-to-rise and a
+slow-to-fall fault.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuit.gates import GateType
+
+
+class LineKind(enum.Enum):
+    """Kind of a fault-site line."""
+
+    STEM = "stem"
+    BRANCH = "branch"
+
+
+@dataclasses.dataclass(frozen=True)
+class Line:
+    """A fault-site line: either a signal stem or a fanout branch.
+
+    Attributes:
+        signal: name of the driving signal (gate output or primary input).
+        kind: stem or branch.
+        sink: for branches, the name of the receiving gate; ``None`` for stems.
+        pin: for branches, the input-pin index at the receiving gate.
+    """
+
+    signal: str
+    kind: LineKind = LineKind.STEM
+    sink: Optional[str] = None
+    pin: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.kind is LineKind.STEM:
+            return self.signal
+        return f"{self.signal}->{self.sink}[{self.pin}]"
+
+    @property
+    def is_stem(self) -> bool:
+        return self.kind is LineKind.STEM
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind is LineKind.BRANCH
+
+
+@dataclasses.dataclass
+class Gate:
+    """A single cell: combinational gate, primary input marker, or DFF.
+
+    The gate's output signal carries the gate's ``name``.  ``fanin`` lists the
+    names of the driving signals in pin order.
+    """
+
+    name: str
+    gate_type: GateType
+    fanin: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def output(self) -> str:
+        """Name of the signal driven by this gate (same as the gate name)."""
+        return self.name
+
+    @property
+    def is_dff(self) -> bool:
+        return self.gate_type is GateType.DFF
+
+    @property
+    def is_input(self) -> bool:
+        return self.gate_type is GateType.INPUT
+
+    def __repr__(self) -> str:
+        args = ", ".join(self.fanin)
+        return f"{self.name} = {self.gate_type.value}({args})"
+
+
+class Circuit:
+    """A synchronous sequential gate-level circuit.
+
+    The circuit is the finite state machine of the paper's Figure 1: a
+    combinational block between (PIs + PPIs) and (POs + PPOs), plus the state
+    register built from D flip-flops.
+
+    Construction is normally done through :class:`repro.circuit.builder.CircuitBuilder`
+    or :func:`repro.circuit.bench.parse_bench`.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.gates: Dict[str, Gate] = {}
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        self._fanout_cache: Optional[Dict[str, List[Tuple[str, int]]]] = None
+        self._order_cache: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_input(self, name: str) -> None:
+        """Declare a primary input signal."""
+        if name in self.gates:
+            raise ValueError(f"signal {name!r} already defined")
+        self.gates[name] = Gate(name, GateType.INPUT, [])
+        self.primary_inputs.append(name)
+        self._invalidate()
+
+    def add_output(self, name: str) -> None:
+        """Declare a primary output signal (driver may be added later)."""
+        if name in self.primary_outputs:
+            raise ValueError(f"output {name!r} already declared")
+        self.primary_outputs.append(name)
+        self._invalidate()
+
+    def add_gate(self, name: str, gate_type: GateType, fanin: Sequence[str]) -> Gate:
+        """Add a combinational gate or a DFF driving signal ``name``."""
+        if name in self.gates:
+            raise ValueError(f"signal {name!r} already defined")
+        if gate_type is GateType.INPUT:
+            raise ValueError("use add_input() for primary inputs")
+        gate = Gate(name, gate_type, list(fanin))
+        self.gates[name] = gate
+        self._invalidate()
+        return gate
+
+    def _invalidate(self) -> None:
+        self._fanout_cache = None
+        self._order_cache = None
+
+    # ------------------------------------------------------------------ #
+    # structural views
+    # ------------------------------------------------------------------ #
+    @property
+    def flip_flops(self) -> List[Gate]:
+        """The state register, in insertion order."""
+        return [gate for gate in self.gates.values() if gate.is_dff]
+
+    @property
+    def pseudo_primary_inputs(self) -> List[str]:
+        """Flip-flop output signals (present state bits)."""
+        return [gate.name for gate in self.flip_flops]
+
+    @property
+    def pseudo_primary_outputs(self) -> List[str]:
+        """Flip-flop data input signals (next state bits)."""
+        return [gate.fanin[0] for gate in self.flip_flops]
+
+    @property
+    def signals(self) -> List[str]:
+        """All signal names (primary inputs and gate outputs)."""
+        return list(self.gates.keys())
+
+    @property
+    def combinational_gates(self) -> List[Gate]:
+        """All gates that are part of the combinational block."""
+        return [gate for gate in self.gates.values() if gate.gate_type.is_combinational]
+
+    def gate(self, name: str) -> Gate:
+        """Return the gate driving signal ``name``."""
+        return self.gates[name]
+
+    def is_primary_input(self, signal: str) -> bool:
+        return self.gates[signal].is_input
+
+    def is_pseudo_primary_input(self, signal: str) -> bool:
+        return self.gates[signal].is_dff
+
+    def is_primary_output(self, signal: str) -> bool:
+        return signal in self.primary_outputs
+
+    def is_pseudo_primary_output(self, signal: str) -> bool:
+        return signal in set(self.pseudo_primary_outputs)
+
+    def is_combinational_source(self, signal: str) -> bool:
+        """True if the signal is an input of the combinational block (PI or PPI)."""
+        gate = self.gates[signal]
+        return gate.is_input or gate.is_dff
+
+    def ppi_of_ppo(self, ppo: str) -> str:
+        """Return the PPI (flip-flop output) that latches the given PPO signal."""
+        for gate in self.flip_flops:
+            if gate.fanin[0] == ppo:
+                return gate.name
+        raise KeyError(f"{ppo!r} is not a pseudo primary output")
+
+    def ppo_of_ppi(self, ppi: str) -> str:
+        """Return the PPO (flip-flop data input) of the given PPI signal."""
+        gate = self.gates[ppi]
+        if not gate.is_dff:
+            raise KeyError(f"{ppi!r} is not a pseudo primary input")
+        return gate.fanin[0]
+
+    # ------------------------------------------------------------------ #
+    # connectivity
+    # ------------------------------------------------------------------ #
+    def fanout(self, signal: str) -> List[Tuple[str, int]]:
+        """Return the sinks of ``signal`` as ``(gate_name, pin_index)`` pairs.
+
+        Flip-flops count as sinks (the PPO feeding a DFF is a branch endpoint),
+        primary outputs do not add an extra sink entry.
+        """
+        return self._fanout_map().get(signal, [])
+
+    def _fanout_map(self) -> Dict[str, List[Tuple[str, int]]]:
+        if self._fanout_cache is None:
+            fanout: Dict[str, List[Tuple[str, int]]] = {name: [] for name in self.gates}
+            for gate in self.gates.values():
+                for pin, source in enumerate(gate.fanin):
+                    if source not in fanout:
+                        raise KeyError(
+                            f"gate {gate.name!r} references undefined signal {source!r}"
+                        )
+                    fanout[source].append((gate.name, pin))
+            self._fanout_cache = fanout
+        return self._fanout_cache
+
+    def observability_sinks(self, signal: str) -> int:
+        """Number of structural sinks plus one if the signal is a primary output."""
+        return len(self.fanout(signal)) + (1 if self.is_primary_output(signal) else 0)
+
+    # ------------------------------------------------------------------ #
+    # fault-site lines
+    # ------------------------------------------------------------------ #
+    def lines(self, include_dff_outputs: bool = True) -> Iterator[Line]:
+        """Enumerate every fault-site line of the circuit.
+
+        Stems are enumerated for every signal that is relevant to the
+        combinational block (primary inputs, PPIs and combinational gate
+        outputs).  When a stem drives more than one sink, each sink connection
+        is additionally enumerated as a branch line.
+        """
+        for signal, gate in self.gates.items():
+            if gate.is_dff and not include_dff_outputs:
+                continue
+            yield Line(signal)
+            sinks = self.fanout(signal)
+            if len(sinks) + (1 if self.is_primary_output(signal) else 0) > 1:
+                for sink, pin in sinks:
+                    yield Line(signal, LineKind.BRANCH, sink, pin)
+
+    def line_count(self) -> int:
+        """Number of fault-site lines (stems + branches)."""
+        return sum(1 for _ in self.lines())
+
+    # ------------------------------------------------------------------ #
+    # statistics & dunder helpers
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Return a summary of the circuit size."""
+        return {
+            "primary_inputs": len(self.primary_inputs),
+            "primary_outputs": len(self.primary_outputs),
+            "flip_flops": len(self.flip_flops),
+            "gates": len(self.combinational_gates),
+            "signals": len(self.gates),
+            "lines": self.line_count(),
+        }
+
+    def __contains__(self, signal: str) -> bool:
+        return signal in self.gates
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"Circuit({self.name!r}, pi={stats['primary_inputs']}, "
+            f"po={stats['primary_outputs']}, ff={stats['flip_flops']}, "
+            f"gates={stats['gates']})"
+        )
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Return a structural deep copy of the circuit."""
+        clone = Circuit(name or self.name)
+        for pi in self.primary_inputs:
+            clone.add_input(pi)
+        for gate in self.gates.values():
+            if gate.is_input:
+                continue
+            clone.add_gate(gate.name, gate.gate_type, list(gate.fanin))
+        for po in self.primary_outputs:
+            clone.add_output(po)
+        return clone

@@ -1,0 +1,74 @@
+"""Structural validation of circuits.
+
+The engines assume well-formed circuits: every referenced signal is defined,
+combinational feedback is broken by flip-flops, single-input gate types have
+one input, and every primary output is driven.  :func:`validate_circuit`
+checks all of these and raises :class:`CircuitValidationError` listing every
+violation found.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+class CircuitValidationError(ValueError):
+    """Raised when a circuit fails structural validation.
+
+    The ``problems`` attribute lists every violation found.
+    """
+
+    def __init__(self, problems: List[str]) -> None:
+        super().__init__("; ".join(problems))
+        self.problems = problems
+
+
+def validate_circuit(circuit: Circuit) -> None:
+    """Validate the structural integrity of a circuit.
+
+    Raises:
+        CircuitValidationError: if any problem is found.
+    """
+    problems: List[str] = []
+
+    defined = set(circuit.gates)
+    for gate in circuit.gates.values():
+        for source in gate.fanin:
+            if source not in defined:
+                problems.append(f"gate {gate.name!r} references undefined signal {source!r}")
+        if gate.gate_type in (GateType.NOT, GateType.BUF, GateType.DFF) and len(gate.fanin) != 1:
+            problems.append(
+                f"{gate.gate_type.value} gate {gate.name!r} must have exactly one input, "
+                f"has {len(gate.fanin)}"
+            )
+        if gate.gate_type not in (GateType.NOT, GateType.BUF, GateType.DFF, GateType.INPUT):
+            if len(gate.fanin) < 1:
+                problems.append(f"gate {gate.name!r} has no inputs")
+
+    for po in circuit.primary_outputs:
+        if po not in defined:
+            problems.append(f"primary output {po!r} is never driven")
+
+    seen_outputs = set()
+    for po in circuit.primary_outputs:
+        if po in seen_outputs:
+            problems.append(f"primary output {po!r} declared twice")
+        seen_outputs.add(po)
+
+    if not problems:
+        # Combinational loop detection only makes sense on a reference-complete
+        # netlist, so it runs after the undefined-signal checks passed.
+        from repro.circuit.levelize import CombinationalLoopError, combinational_order
+
+        try:
+            combinational_order(circuit)
+        except CombinationalLoopError as exc:
+            problems.append(str(exc))
+        except KeyError as exc:
+            problems.append(f"dangling reference: {exc}")
+
+    if problems:
+        raise CircuitValidationError(problems)

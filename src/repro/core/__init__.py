@@ -1,0 +1,32 @@
+"""The combined TDgen + SEMILET flow — the paper's headline contribution.
+
+:class:`repro.core.flow.SequentialDelayATPG` implements the extended
+FOGBUSTER algorithm of Figure 4: local test generation, forward propagation,
+propagation justification, justification of the test frames, initialisation,
+and the three-phase fault simulation, with backtracking between the steps.
+"""
+
+from repro.core.clocking import ClockSchedule, ClockSpeed
+from repro.core.results import (
+    FaultResult,
+    FaultResultStatus,
+    TestSequence,
+    CampaignResult,
+)
+from repro.core.flow import SequentialDelayATPG
+from repro.core.verify import verify_test_sequence, VerificationReport
+from repro.core.reporting import format_campaign_table, campaign_row
+
+__all__ = [
+    "ClockSchedule",
+    "ClockSpeed",
+    "FaultResult",
+    "FaultResultStatus",
+    "TestSequence",
+    "CampaignResult",
+    "SequentialDelayATPG",
+    "verify_test_sequence",
+    "VerificationReport",
+    "format_campaign_table",
+    "campaign_row",
+]

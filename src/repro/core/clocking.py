@@ -1,0 +1,82 @@
+"""The slow/fast clocking scheme of the time frame model (paper Figure 2).
+
+All time frames of a generated test are applied with a *slow* clock — long
+enough for every signal to settle even in the presence of the delay fault —
+except the single *test* frame, which uses the *fast* (operational) clock so
+that a realistically sized delay fault is captured as a wrong value at a
+primary output or in the state register.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List
+
+
+class ClockSpeed(enum.Enum):
+    """Clock speed of one time frame."""
+
+    SLOW = "slow"
+    FAST = "fast"
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockSchedule:
+    """Clock speed per applied vector of a test sequence.
+
+    The schedule always has exactly one fast frame — the test frame — and it
+    is always the frame in which the second vector of the two-pattern test is
+    applied.
+    """
+
+    speeds: tuple
+
+    @classmethod
+    def for_sequence(
+        cls, initialization_frames: int, propagation_frames: int
+    ) -> "ClockSchedule":
+        """Build the schedule for a test with the given phase lengths.
+
+        Layout (matching Figure 2): ``initialization_frames`` slow frames, one
+        slow frame for the first vector of the two-pattern test (the initial
+        time frame), one fast frame for the second vector (the test time
+        frame), then ``propagation_frames`` slow frames.
+        """
+        if initialization_frames < 0 or propagation_frames < 0:
+            raise ValueError("frame counts must be non-negative")
+        speeds: List[ClockSpeed] = []
+        speeds.extend([ClockSpeed.SLOW] * initialization_frames)
+        speeds.append(ClockSpeed.SLOW)  # initial time frame (v1)
+        speeds.append(ClockSpeed.FAST)  # test time frame (v2)
+        speeds.extend([ClockSpeed.SLOW] * propagation_frames)
+        return cls(speeds=tuple(speeds))
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.speeds)
+
+    @property
+    def fast_frame_index(self) -> int:
+        """Index of the (single) fast frame."""
+        return self.speeds.index(ClockSpeed.FAST)
+
+    @property
+    def initialization_frames(self) -> int:
+        """Number of frames before the initial time frame of the local test."""
+        return self.fast_frame_index - 1
+
+    @property
+    def propagation_frames(self) -> int:
+        """Number of frames after the test time frame."""
+        return self.frame_count - self.fast_frame_index - 1
+
+    def is_valid(self) -> bool:
+        """Exactly one fast frame, preceded by at least one slow frame."""
+        fast = [speed for speed in self.speeds if speed is ClockSpeed.FAST]
+        if len(fast) != 1:
+            return False
+        return self.fast_frame_index >= 1
+
+    def __str__(self) -> str:
+        return " ".join(speed.value for speed in self.speeds)

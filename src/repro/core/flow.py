@@ -1,0 +1,556 @@
+"""The extended FOGBUSTER flow (paper Figure 4).
+
+For every targeted fault the flow runs:
+
+1. **local test generation** (TDgen) — provoke the fault and propagate its
+   effect to a PO or PPO within the two local time frames;
+2. **forward propagation** (SEMILET, forward time processing) — only if the
+   effect was captured in the state register;
+3. **propagation justification** — PPI values the propagation needed are
+   turned into PPO constraints and handed back to TDgen;
+4. **justification of the test frames / initialisation** (SEMILET, reverse
+   time processing) — a synchronising sequence for the state the local test
+   requires;
+5. **fault simulation** (FAUSIM + TDsim) — credit every additional fault the
+   assembled sequence detects.
+
+Backtracking between the steps is possible: if propagation or initialisation
+fails, the local test generator is re-invoked with the previously used
+pseudo primary output observation points blocked.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.values import DelayValue, V0, V1
+from repro.circuit.netlist import Circuit
+from repro.core.clocking import ClockSchedule
+from repro.core.results import (
+    CampaignResult,
+    FaultResult,
+    FaultResultStatus,
+    FlowPhase,
+    TestSequence,
+)
+from repro.core.verify import verify_test_sequence
+from repro.faults.model import (
+    FaultList,
+    FaultStatus,
+    GateDelayFault,
+    enumerate_delay_faults,
+)
+from repro.fausim.fault_sim import PropagationFaultSimulator
+from repro.fausim.logic_sim import LogicSimulator, SignalValues
+from repro.semilet.engine import Semilet
+from repro.tdgen.context import TDgenContext
+from repro.tdgen.engine import TDgen
+from repro.tdgen.result import LocalTest, LocalTestStatus
+from repro.tdsim.cpt import DelayFaultSimulator
+
+
+@dataclasses.dataclass
+class _AttemptFailure:
+    """Internal record of why one FOGBUSTER attempt failed."""
+
+    status: FaultResultStatus
+    phase: FlowPhase
+    local_backtracks: int = 0
+    sequential_backtracks: int = 0
+    unsynchronizable_state: Optional[Dict[str, int]] = None
+
+
+class SequentialDelayATPG:
+    """Robust gate delay fault ATPG for non-scan synchronous sequential circuits.
+
+    Args:
+        circuit: circuit under test.
+        robust: use the robust fault model (paper) or the relaxed non-robust
+            variant (paper's conclusion / ablation E8).
+        local_backtrack_limit: backtrack limit of TDgen (paper: 100).
+        sequential_backtrack_limit: backtrack limit of SEMILET (paper: 100).
+        max_local_retries: how many times the flow may re-enter local test
+            generation with blocked observation points (inter-phase
+            backtracking).
+        fill_value: deterministic fill for don't-care bits when assembling
+            concrete vectors.
+        verify_sequences: re-check every generated sequence with the
+            independent gross-delay verification before crediting it.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        robust: bool = True,
+        local_backtrack_limit: int = 100,
+        sequential_backtrack_limit: int = 100,
+        max_propagation_frames: Optional[int] = None,
+        max_synchronization_frames: Optional[int] = None,
+        max_local_retries: int = 3,
+        fill_value: int = 0,
+        verify_sequences: bool = True,
+        enable_fault_simulation: bool = True,
+    ) -> None:
+        self.circuit = circuit
+        self.robust = robust
+        self.fill_value = fill_value
+        self.max_local_retries = max_local_retries
+        self.verify_sequences = verify_sequences
+        self.enable_fault_simulation = enable_fault_simulation
+
+        self.context = TDgenContext(circuit)
+        self.tdgen = TDgen(
+            circuit,
+            robust=robust,
+            backtrack_limit=local_backtrack_limit,
+            context=self.context,
+        )
+        self.semilet = Semilet(
+            circuit,
+            backtrack_limit=sequential_backtrack_limit,
+            max_propagation_frames=max_propagation_frames,
+            max_synchronization_frames=max_synchronization_frames,
+        )
+        self.fault_simulator = DelayFaultSimulator(circuit, robust=robust, context=self.context)
+        self._logic_simulator = LogicSimulator(circuit)
+
+    # ------------------------------------------------------------------ #
+    # campaign driver
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        faults: Optional[Sequence[GateDelayFault]] = None,
+        max_target_faults: Optional[int] = None,
+        time_limit_s: Optional[float] = None,
+    ) -> CampaignResult:
+        """Run a full ATPG campaign.
+
+        Args:
+            faults: explicit fault universe; defaults to every StR/StF fault on
+                every stem and branch of the circuit.
+            max_target_faults: stop targeting new faults after this many
+                explicit targets (faults already covered by fault simulation do
+                not count); remaining untargeted faults are reported in the
+                aborted column.
+            time_limit_s: wall-clock budget for the campaign.
+        """
+        fault_universe = list(faults) if faults is not None else enumerate_delay_faults(self.circuit)
+        fault_list = FaultList(fault_universe)
+        campaign = CampaignResult(circuit_name=self.circuit.name, total_faults=len(fault_list))
+        start = time.perf_counter()
+
+        for fault in fault_universe:
+            if fault_list.status(fault) is not FaultStatus.UNTARGETED:
+                continue
+            if max_target_faults is not None and campaign.targeted >= max_target_faults:
+                break
+            if time_limit_s is not None and time.perf_counter() - start > time_limit_s:
+                break
+
+            result = self.generate_for_fault(fault)
+            newly_detected = 0
+            if result.status is FaultResultStatus.TESTED:
+                newly_detected += fault_list.mark_tested([fault])
+                if self.enable_fault_simulation and result.sequence is not None:
+                    extra = self._simulate_sequence(result.sequence)
+                    result.additionally_detected = [
+                        detection for detection in extra if detection in fault_list
+                    ]
+                    newly_detected += fault_list.mark_tested(result.additionally_detected)
+            elif result.status is FaultResultStatus.UNTESTABLE:
+                fault_list.mark(fault, FaultStatus.UNTESTABLE)
+            else:
+                fault_list.mark(fault, FaultStatus.ABORTED)
+
+            campaign.record(result, newly_detected)
+
+        campaign.finalize(fault_list.counts(), time.perf_counter() - start)
+        return campaign
+
+    # ------------------------------------------------------------------ #
+    # single-fault FOGBUSTER
+    # ------------------------------------------------------------------ #
+    def generate_for_fault(self, fault: GateDelayFault) -> FaultResult:
+        """Run the extended FOGBUSTER algorithm for one fault (Figure 4)."""
+        blocked_ppos: Set[str] = set()
+        blocked_states: List[Dict[str, int]] = []
+        last_failure = _AttemptFailure(
+            status=FaultResultStatus.UNTESTABLE, phase=FlowPhase.LOCAL
+        )
+        attempts = 0
+
+        for attempt in range(self.max_local_retries):
+            attempts += 1
+            outcome = self._attempt(fault, blocked_ppos, blocked_states)
+            if isinstance(outcome, FaultResult):
+                outcome.attempts = attempts
+                return outcome
+            failure, newly_blocked = outcome
+            last_failure = failure
+            if failure.phase is FlowPhase.LOCAL:
+                # Local generation itself failed: retrying with the same blocks
+                # cannot help.
+                break
+            made_progress = False
+            if newly_blocked and not newly_blocked <= blocked_ppos:
+                blocked_ppos |= newly_blocked
+                made_progress = True
+            if failure.unsynchronizable_state and failure.unsynchronizable_state not in blocked_states:
+                # Inter-phase backtracking: ask TDgen for a local test that does
+                # not require the state the initialisation phase failed on.
+                blocked_states.append(dict(failure.unsynchronizable_state))
+                made_progress = True
+            if not made_progress:
+                break
+
+        if blocked_states and last_failure.phase is FlowPhase.LOCAL:
+            # Every remaining local test requires an unsynchronisable state:
+            # report the failure as a sequential (initialisation) one.
+            last_failure.phase = FlowPhase.INITIALIZATION
+
+        return FaultResult(
+            fault=fault,
+            status=last_failure.status,
+            phase=last_failure.phase,
+            local_backtracks=last_failure.local_backtracks,
+            sequential_backtracks=last_failure.sequential_backtracks,
+            attempts=attempts,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _attempt(
+        self,
+        fault: GateDelayFault,
+        blocked_ppos: Set[str],
+        blocked_states: Optional[List[Dict[str, int]]] = None,
+    ):
+        """One pass through the FOGBUSTER phases.
+
+        Returns either a successful :class:`FaultResult` or a tuple
+        ``(_AttemptFailure, newly_blocked_ppos)``.
+        """
+        blocked_states = blocked_states or []
+        local = self.tdgen.generate(
+            fault,
+            blocked_observation=sorted(blocked_ppos),
+            blocked_states=blocked_states,
+        )
+        if local.status is LocalTestStatus.UNTESTABLE:
+            return (
+                _AttemptFailure(
+                    FaultResultStatus.UNTESTABLE, FlowPhase.LOCAL, local.backtracks
+                ),
+                set(),
+            )
+        if local.status is LocalTestStatus.ABORTED:
+            return (
+                _AttemptFailure(
+                    FaultResultStatus.ABORTED, FlowPhase.LOCAL, local.backtracks
+                ),
+                set(),
+            )
+
+        propagation_vectors: List[Dict[str, int]] = []
+        required_propagation_ppos: Dict[str, int] = {}
+        sequential_backtracks = 0
+        observation_point = local.observation_points[0] if local.observation_points else ""
+
+        if not local.observed_at_po:
+            # --- forward propagation phase --------------------------------- #
+            good_state, faulty_state = self._post_test_states(local)
+            assignable = [
+                ppi
+                for ppi in self.circuit.pseudo_primary_inputs
+                if ppi not in good_state
+            ]
+            propagation = self.semilet.propagate(good_state, faulty_state, assignable)
+            sequential_backtracks += propagation.backtracks
+            if not propagation.success:
+                status = (
+                    FaultResultStatus.ABORTED
+                    if propagation.aborted
+                    else FaultResultStatus.UNTESTABLE
+                )
+                observed_ppos = {
+                    signal
+                    for signal in local.observation_points
+                    if not self.circuit.is_primary_output(signal)
+                }
+                return (
+                    _AttemptFailure(
+                        status,
+                        FlowPhase.PROPAGATION,
+                        local.backtracks,
+                        sequential_backtracks,
+                    ),
+                    observed_ppos,
+                )
+
+            # --- propagation justification --------------------------------- #
+            if propagation.required_first_frame_ppis:
+                constraints = {
+                    self.circuit.ppo_of_ppi(ppi): value
+                    for ppi, value in propagation.required_first_frame_ppis.items()
+                }
+                required_propagation_ppos.update(constraints)
+                revised = self.tdgen.generate(
+                    fault,
+                    required_ppo_values=constraints,
+                    blocked_observation=sorted(blocked_ppos),
+                    blocked_states=blocked_states,
+                )
+                if revised.status is not LocalTestStatus.SUCCESS:
+                    status = (
+                        FaultResultStatus.ABORTED
+                        if revised.status is LocalTestStatus.ABORTED
+                        else FaultResultStatus.UNTESTABLE
+                    )
+                    observed_ppos = {
+                        signal
+                        for signal in local.observation_points
+                        if not self.circuit.is_primary_output(signal)
+                    }
+                    return (
+                        _AttemptFailure(
+                            status,
+                            FlowPhase.PROPAGATION_JUSTIFICATION,
+                            local.backtracks + revised.backtracks,
+                            sequential_backtracks,
+                        ),
+                        observed_ppos,
+                    )
+                local = revised
+                if not self._propagation_still_valid(local, propagation.vectors):
+                    observed_ppos = {
+                        signal
+                        for signal in local.observation_points
+                        if not self.circuit.is_primary_output(signal)
+                    }
+                    return (
+                        _AttemptFailure(
+                            FaultResultStatus.UNTESTABLE,
+                            FlowPhase.PROPAGATION_JUSTIFICATION,
+                            local.backtracks,
+                            sequential_backtracks,
+                        ),
+                        observed_ppos,
+                    )
+            propagation_vectors = [dict(vector) for vector in propagation.vectors]
+            observation_point = propagation.observed_po or observation_point
+
+        # --- justification of test frames / initialisation ----------------- #
+        required_state = local.required_state()
+        synchronization = self.semilet.synchronize(required_state)
+        sequential_backtracks += synchronization.backtracks
+        if not synchronization.success:
+            status = (
+                FaultResultStatus.ABORTED
+                if synchronization.aborted
+                else FaultResultStatus.UNTESTABLE
+            )
+            observed_ppos = {
+                signal
+                for signal in local.observation_points
+                if not self.circuit.is_primary_output(signal)
+            }
+            return (
+                _AttemptFailure(
+                    status,
+                    FlowPhase.INITIALIZATION,
+                    local.backtracks,
+                    sequential_backtracks,
+                    unsynchronizable_state=dict(required_state) if required_state else None,
+                ),
+                observed_ppos,
+            )
+
+        # --- assemble and (optionally) verify the sequence ------------------ #
+        sequence = self._assemble_sequence(
+            fault, local, synchronization.vectors, propagation_vectors, observation_point
+        )
+        if self.verify_sequences:
+            report = verify_test_sequence(self.circuit, sequence)
+            if not report.detected:
+                observed_ppos = {
+                    signal
+                    for signal in local.observation_points
+                    if not self.circuit.is_primary_output(signal)
+                }
+                return (
+                    _AttemptFailure(
+                        FaultResultStatus.ABORTED,
+                        FlowPhase.COMPLETE,
+                        local.backtracks,
+                        sequential_backtracks,
+                    ),
+                    observed_ppos,
+                )
+
+        return FaultResult(
+            fault=fault,
+            status=FaultResultStatus.TESTED,
+            phase=FlowPhase.COMPLETE,
+            sequence=sequence,
+            local_backtracks=local.backtracks,
+            sequential_backtracks=sequential_backtracks,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _post_test_states(
+        self, local: LocalTest
+    ) -> Tuple[SignalValues, SignalValues]:
+        """Good and faulty machine states right after the fast clock frame.
+
+        Only PPO values that TDgen may specify (clean steady) enter the good
+        state; PPOs carrying the fault effect differ between the machines; all
+        other state bits stay unknown-but-equal (the unjustifiable don't care
+        of the paper).
+        """
+        good_state: SignalValues = {}
+        faulty_state: SignalValues = {}
+        for ppo, value in local.ppo_final_values.items():
+            if value is None:
+                continue
+            ppi = self.circuit.ppi_of_ppo(ppo)
+            good_state[ppi] = value
+            faulty_state[ppi] = value
+        for ppo, effect in local.ppo_fault_effects.items():
+            ppi = self.circuit.ppi_of_ppo(ppo)
+            good_state[ppi] = effect.final
+            faulty_state[ppi] = effect.initial
+        return good_state, faulty_state
+
+    def _propagation_still_valid(
+        self, local: LocalTest, propagation_vectors: Sequence[Dict[str, int]]
+    ) -> bool:
+        """Re-check the propagation after the local test was revised.
+
+        The revised local test must still capture a fault effect in the state
+        register and the previously computed propagation vectors must still
+        drive it to a primary output.
+        """
+        if local.observed_at_po:
+            return True
+        if not local.ppo_fault_effects:
+            return False
+        good_state, faulty_state = self._post_test_states(local)
+        simulator = PropagationFaultSimulator(self.circuit, propagation_vectors)
+        for ppo in local.ppo_fault_effects:
+            ppi = self.circuit.ppi_of_ppo(ppo)
+            observability = simulator.observability(
+                good_state, ppi, faulty_value=faulty_state.get(ppi)
+            )
+            if observability.observable:
+                return True
+        return False
+
+    def _assemble_sequence(
+        self,
+        fault: GateDelayFault,
+        local: LocalTest,
+        initialization_vectors: Sequence[Dict[str, int]],
+        propagation_vectors: Sequence[Dict[str, int]],
+        observation_point: str,
+    ) -> TestSequence:
+        """Fill don't cares and put all phases together into one sequence."""
+        pi_pairs: Dict[str, DelayValue] = {}
+        fill = V0 if self.fill_value == 0 else V1
+        for pi in self.circuit.primary_inputs:
+            value = local.pi_values.get(pi)
+            pi_pairs[pi] = value if value is not None else fill
+
+        # State at the start of the initial frame: whatever the initialisation
+        # sequence provably establishes, the local requirements, and the fill
+        # value for the remaining don't cares.
+        init_state: SignalValues = {}
+        state: SignalValues = {}
+        for vector in initialization_vectors:
+            frame = self._logic_simulator.clock(vector, state)
+            state = frame.next_state
+        init_state = state
+        ppi_initial: Dict[str, int] = {}
+        for ppi in self.circuit.pseudo_primary_inputs:
+            if ppi in local.ppi_initial:
+                ppi_initial[ppi] = local.ppi_initial[ppi]
+            elif init_state.get(ppi) is not None:
+                ppi_initial[ppi] = init_state[ppi]
+            else:
+                ppi_initial[ppi] = self.fill_value
+
+        v1 = {pi: pi_pairs[pi].initial for pi in self.circuit.primary_inputs}
+        v2 = {pi: pi_pairs[pi].final for pi in self.circuit.primary_inputs}
+        filled_propagation = [
+            {pi: vector.get(pi, self.fill_value) for pi in self.circuit.primary_inputs}
+            for vector in propagation_vectors
+        ]
+        filled_initialization = [
+            {pi: vector.get(pi, self.fill_value) for pi in self.circuit.primary_inputs}
+            for vector in initialization_vectors
+        ]
+        schedule = ClockSchedule.for_sequence(
+            initialization_frames=len(filled_initialization),
+            propagation_frames=len(filled_propagation),
+        )
+        return TestSequence(
+            fault=fault,
+            initialization_vectors=filled_initialization,
+            v1=v1,
+            v2=v2,
+            propagation_vectors=filled_propagation,
+            clock_schedule=schedule,
+            observation_point=observation_point,
+            observed_at_po=local.observed_at_po,
+            pi_pair_values=pi_pairs,
+            ppi_initial_values=ppi_initial,
+        )
+
+    def _simulate_sequence(self, sequence: TestSequence) -> List[GateDelayFault]:
+        """FAUSIM + TDsim: every additional fault the sequence detects."""
+        # Good-machine state after the fast frame, for the propagation-phase
+        # observability analysis.
+        state = simulate_state_after_fast(
+            self.context, sequence.pi_pair_values, sequence.ppi_initial_values
+        )
+        observability = {}
+        if sequence.propagation_vectors:
+            fausim = PropagationFaultSimulator(self.circuit, sequence.propagation_vectors)
+            observability = fausim.observability_map(state, self.circuit.pseudo_primary_inputs)
+        observable_ppos = [
+            self.circuit.ppo_of_ppi(ppi)
+            for ppi, result in observability.items()
+            if result.observable
+        ]
+        required_ppo_values = {
+            ppo: value
+            for ppo, value in (
+                (self.circuit.ppo_of_ppi(ppi), state.get(ppi))
+                for ppi in self.circuit.pseudo_primary_inputs
+            )
+            if value is not None
+        }
+        detections = self.fault_simulator.simulate(
+            sequence.pi_pair_values,
+            sequence.ppi_initial_values,
+            observable_ppos=observable_ppos,
+            required_ppo_values=required_ppo_values,
+        )
+        return [detection.fault for detection in detections]
+
+
+def simulate_state_after_fast(
+    context: TDgenContext,
+    pi_pair_values: Dict[str, DelayValue],
+    ppi_initial_values: Dict[str, int],
+) -> SignalValues:
+    """Good-machine state latched at the end of the fast frame."""
+    from repro.tdgen.simulation import good_machine_values
+
+    values = good_machine_values(context, pi_pair_values, ppi_initial_values)
+    state: SignalValues = {}
+    for dff in context.circuit.flip_flops:
+        state[dff.name] = values[dff.fanin[0]].final
+    return state

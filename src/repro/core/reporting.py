@@ -1,0 +1,66 @@
+"""Rendering of campaign results in the style of the paper's Table 3."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.results import CampaignResult
+
+_TABLE3_COLUMNS = ("circuit", "tested", "untstbl", "aborted", "#pat", "time[s]")
+
+
+def campaign_row(result: CampaignResult) -> Dict[str, object]:
+    """One Table 3 row as a dictionary."""
+    row = result.as_table3_row()
+    return {
+        "circuit": row["circuit"],
+        "tested": row["tested"],
+        "untstbl": row["untestable"],
+        "aborted": row["aborted"],
+        "#pat": row["patterns"],
+        "time[s]": row["time_s"],
+    }
+
+
+def format_campaign_table(results: Sequence[CampaignResult], title: str = "Benchmark results") -> str:
+    """Format several campaign results as a fixed-width text table.
+
+    The column layout mirrors Table 3 of the paper: circuit, tested,
+    untestable, aborted, number of patterns (initialisation and propagation
+    vectors included) and CPU time in seconds.
+    """
+    rows = [campaign_row(result) for result in results]
+    widths = {column: len(column) for column in _TABLE3_COLUMNS}
+    for row in rows:
+        for column in _TABLE3_COLUMNS:
+            widths[column] = max(widths[column], len(str(row[column])))
+
+    def render_row(cells: Iterable[object]) -> str:
+        return "  ".join(
+            f"{str(cell):>{widths[column]}}" for column, cell in zip(_TABLE3_COLUMNS, cells)
+        )
+
+    lines: List[str] = [title, ""]
+    lines.append(render_row(_TABLE3_COLUMNS))
+    lines.append("  ".join("-" * widths[column] for column in _TABLE3_COLUMNS))
+    for row in rows:
+        lines.append(render_row(row[column] for column in _TABLE3_COLUMNS))
+    return "\n".join(lines)
+
+
+def format_untestable_breakdown(results: Sequence[CampaignResult]) -> str:
+    """Per-circuit breakdown of untestable faults (experiment E7).
+
+    Shows how many untestable faults were proven untestable combinationally
+    (by TDgen alone) and how many are only *sequentially* untestable (the
+    propagation or initialisation phase fails), mirroring the discussion in
+    section 6 of the paper.
+    """
+    lines = ["circuit      comb.untestable   seq.untestable   aborted"]
+    for result in results:
+        breakdown = result.untestable_breakdown()
+        lines.append(
+            f"{result.circuit_name:<12} {breakdown['combinationally_untestable']:>15} "
+            f"{breakdown['sequentially_untestable']:>16} {result.aborted:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Result containers for the combined flow and for whole campaigns."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+from repro.algebra.values import DelayValue
+from repro.core.clocking import ClockSchedule
+from repro.faults.model import FaultStatus, GateDelayFault
+
+
+class FaultResultStatus(enum.Enum):
+    """Outcome of targeting one fault with the full FOGBUSTER flow."""
+
+    TESTED = "tested"
+    UNTESTABLE = "untestable"
+    ABORTED = "aborted"
+
+
+class FlowPhase(enum.Enum):
+    """The FOGBUSTER phase in which a fault's processing ended (Figure 4)."""
+
+    LOCAL = "local test generation"
+    PROPAGATION = "forward propagation"
+    PROPAGATION_JUSTIFICATION = "propagation justification"
+    INITIALIZATION = "initialization"
+    COMPLETE = "complete"
+
+
+@dataclasses.dataclass
+class TestSequence:
+    """A complete test for one gate delay fault.
+
+    The sequence consists of the initialisation vectors (slow clock), the two
+    local vectors ``v1`` (slow) and ``v2`` (fast), and the propagation vectors
+    (slow clock).  ``pi_pair_values`` / ``ppi_initial_values`` keep the
+    algebra-level view used by the fault simulator.
+    """
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    fault: GateDelayFault
+    initialization_vectors: List[Dict[str, int]]
+    v1: Dict[str, int]
+    v2: Dict[str, int]
+    propagation_vectors: List[Dict[str, int]]
+    clock_schedule: ClockSchedule
+    observation_point: str
+    observed_at_po: bool
+    pi_pair_values: Dict[str, DelayValue] = dataclasses.field(default_factory=dict)
+    ppi_initial_values: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def vectors(self) -> List[Dict[str, int]]:
+        """All vectors in application order."""
+        return list(self.initialization_vectors) + [self.v1, self.v2] + list(
+            self.propagation_vectors
+        )
+
+    @property
+    def pattern_count(self) -> int:
+        """Number of applied patterns, initialisation and propagation included."""
+        return len(self.vectors)
+
+
+@dataclasses.dataclass
+class FaultResult:
+    """Outcome of the FOGBUSTER flow for one targeted fault."""
+
+    fault: GateDelayFault
+    status: FaultResultStatus
+    phase: FlowPhase
+    sequence: Optional[TestSequence] = None
+    additionally_detected: List[GateDelayFault] = dataclasses.field(default_factory=list)
+    local_backtracks: int = 0
+    sequential_backtracks: int = 0
+    attempts: int = 1
+
+    @property
+    def tested(self) -> bool:
+        return self.status is FaultResultStatus.TESTED
+
+    def __str__(self) -> str:
+        return f"FaultResult({self.fault}, {self.status.value}, phase={self.phase.value})"
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Aggregated results of a full ATPG campaign on one circuit (Table 3 row)."""
+
+    circuit_name: str
+    total_faults: int
+    tested: int = 0
+    untestable: int = 0
+    aborted: int = 0
+    pattern_count: int = 0
+    cpu_seconds: float = 0.0
+    sequences: List[TestSequence] = dataclasses.field(default_factory=list)
+    fault_results: List[FaultResult] = dataclasses.field(default_factory=list)
+    untestable_local: int = 0
+    untestable_sequential: int = 0
+    aborted_local: int = 0
+    aborted_sequential: int = 0
+    targeted: int = 0
+    detected_by_simulation: int = 0
+
+    @property
+    def fault_coverage(self) -> float:
+        """Fraction of the fault universe marked tested."""
+        if self.total_faults == 0:
+            return 0.0
+        return self.tested / self.total_faults
+
+    @property
+    def fault_efficiency(self) -> float:
+        """Fraction of faults with a definite verdict (tested or untestable)."""
+        if self.total_faults == 0:
+            return 0.0
+        return (self.tested + self.untestable) / self.total_faults
+
+    def as_table3_row(self) -> Dict[str, object]:
+        """The columns of the paper's Table 3 for this circuit."""
+        return {
+            "circuit": self.circuit_name,
+            "tested": self.tested,
+            "untestable": self.untestable,
+            "aborted": self.aborted,
+            "patterns": self.pattern_count,
+            "time_s": round(self.cpu_seconds, 2),
+        }
+
+    def untestable_breakdown(self) -> Dict[str, int]:
+        """Split of untestable faults by the phase that proved them untestable.
+
+        The paper (section 6) observes that a large part of the untestable
+        faults is only *sequentially* untestable; this breakdown makes that
+        observation measurable.
+        """
+        return {
+            "combinationally_untestable": self.untestable_local,
+            "sequentially_untestable": self.untestable_sequential,
+        }
+
+    def record(self, result: FaultResult, newly_detected: int) -> None:
+        """Fold one fault result into the campaign counters."""
+        self.fault_results.append(result)
+        self.targeted += 1
+        if result.status is FaultResultStatus.TESTED:
+            if result.sequence is not None:
+                self.sequences.append(result.sequence)
+                self.pattern_count += result.sequence.pattern_count
+            self.detected_by_simulation += max(newly_detected - 1, 0)
+        elif result.status is FaultResultStatus.UNTESTABLE:
+            if result.phase is FlowPhase.LOCAL:
+                self.untestable_local += 1
+            else:
+                self.untestable_sequential += 1
+        else:
+            if result.phase is FlowPhase.LOCAL:
+                self.aborted_local += 1
+            else:
+                self.aborted_sequential += 1
+
+    def finalize(self, fault_status_counts: Dict[str, int], cpu_seconds: float) -> None:
+        """Fill in the Table 3 counters from the final fault-list status."""
+        self.tested = fault_status_counts.get(FaultStatus.TESTED.value, 0)
+        self.untestable = fault_status_counts.get(FaultStatus.UNTESTABLE.value, 0)
+        self.aborted = fault_status_counts.get(FaultStatus.ABORTED.value, 0) + fault_status_counts.get(
+            FaultStatus.UNTARGETED.value, 0
+        )
+        self.cpu_seconds = cpu_seconds

@@ -1,0 +1,143 @@
+"""Independent functional verification of generated test sequences.
+
+The ATPG engine and the fault simulator share the eight-valued algebra, so a
+bug there could produce consistently wrong but self-agreeing results.  This
+module provides an *independent* check based only on plain three-valued logic
+simulation and the gross delay fault interpretation: the faulted line misses
+the fast clock entirely, i.e. at the fast sample time it still shows the value
+it had in the previous (slow) frame.
+
+A robust gate delay fault test must detect every fault size above the slack,
+in particular the gross one, so every sequence produced by the flow has to
+pass this check; the test-suite relies on it heavily.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.circuit.gates import evaluate_gate
+from repro.circuit.levelize import combinational_order
+from repro.circuit.netlist import Circuit, LineKind
+from repro.core.results import TestSequence
+from repro.faults.model import GateDelayFault
+from repro.fausim.logic_sim import LogicSimulator, SignalValues
+
+
+@dataclasses.dataclass
+class VerificationReport:
+    """Outcome of replaying a test sequence against the gross delay fault."""
+
+    detected: bool
+    detection_frame: Optional[int] = None
+    primary_output: Optional[str] = None
+    good_trace: List[SignalValues] = dataclasses.field(default_factory=list)
+    faulty_trace: List[SignalValues] = dataclasses.field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.detected
+
+
+def _faulty_fast_frame(
+    circuit: Circuit,
+    order: List[str],
+    pi_vector: SignalValues,
+    state: SignalValues,
+    fault: GateDelayFault,
+    stale_value: Optional[int],
+) -> SignalValues:
+    """Evaluate the fast frame with the faulted line frozen at its stale value."""
+    values: SignalValues = {}
+    for pi in circuit.primary_inputs:
+        values[pi] = pi_vector.get(pi)
+    for ppi in circuit.pseudo_primary_inputs:
+        values[ppi] = state.get(ppi)
+
+    stem_fault = fault.line.kind is LineKind.STEM
+    if stem_fault and fault.line.signal in values:
+        values[fault.line.signal] = stale_value
+
+    for name in order:
+        gate = circuit.gate(name)
+        inputs = []
+        for pin, source in enumerate(gate.fanin):
+            value = values[source]
+            if (
+                not stem_fault
+                and fault.line.sink == name
+                and fault.line.pin == pin
+                and source == fault.line.signal
+            ):
+                value = stale_value
+            inputs.append(value)
+        output = evaluate_gate(gate.gate_type, inputs)
+        if stem_fault and name == fault.line.signal:
+            output = stale_value
+        values[name] = output
+    return values
+
+
+def verify_test_sequence(circuit: Circuit, sequence: TestSequence) -> VerificationReport:
+    """Replay a test sequence and check that the gross delay fault is caught.
+
+    Both machines start in the all-unknown state, the initialisation and
+    propagation frames use fault-free (slow clock) behaviour, and the fast
+    frame of the faulty machine freezes the faulted line at its value from the
+    previous frame.  Detection requires a primary output where the good value
+    is binary and provably differs from the faulty value.
+    """
+    simulator = LogicSimulator(circuit)
+    order = combinational_order(circuit)
+    fault = sequence.fault
+    fast_index = sequence.clock_schedule.fast_frame_index
+    vectors = sequence.vectors
+
+    good_state: SignalValues = {}
+    faulty_state: SignalValues = {}
+    good_trace: List[SignalValues] = []
+    faulty_trace: List[SignalValues] = []
+    previous_good_frame: SignalValues = {}
+
+    for index, vector in enumerate(vectors):
+        good_frame = simulator.clock(vector, good_state)
+        if index < fast_index:
+            # Slow clock, fault-free: both machines are identical.
+            faulty_values = dict(good_frame.values)
+            faulty_next = dict(good_frame.next_state)
+        elif index == fast_index:
+            stale = previous_good_frame.get(fault.line.signal)
+            faulty_values = _faulty_fast_frame(
+                circuit, order, vector, faulty_state, fault, stale
+            )
+            faulty_next = {
+                dff.name: faulty_values[dff.fanin[0]] for dff in circuit.flip_flops
+            }
+        else:
+            faulty_frame = simulator.clock(vector, faulty_state)
+            faulty_values = faulty_frame.values
+            faulty_next = faulty_frame.next_state
+
+        good_trace.append(simulator.outputs(good_frame.values))
+        faulty_trace.append({po: faulty_values[po] for po in circuit.primary_outputs})
+
+        if index >= fast_index:
+            for po in circuit.primary_outputs:
+                good_po = good_frame.values[po]
+                faulty_po = faulty_values[po]
+                if good_po is not None and faulty_po is not None and good_po != faulty_po:
+                    return VerificationReport(
+                        detected=True,
+                        detection_frame=index,
+                        primary_output=po,
+                        good_trace=good_trace,
+                        faulty_trace=faulty_trace,
+                    )
+
+        previous_good_frame = good_frame.values
+        good_state = good_frame.next_state
+        faulty_state = faulty_next
+
+    return VerificationReport(
+        detected=False, good_trace=good_trace, faulty_trace=faulty_trace
+    )

@@ -1,0 +1,33 @@
+"""The ISCAS'89 benchmark circuit s27 (embedded verbatim).
+
+s27 is the smallest circuit of the suite: 4 primary inputs, 1 primary output,
+3 D flip-flops and 10 combinational gates.  Its netlist is reproduced in many
+textbooks and papers, so it is embedded here directly; it is also the circuit
+every end-to-end test and the quickstart example use.
+"""
+
+S27_BENCH = """\
+# s27 — ISCAS'89 sequential benchmark
+# 4 inputs, 1 output, 3 D-type flipflops, 10 gates
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""

@@ -1,0 +1,24 @@
+"""Fault models.
+
+The paper's fault universe is the robust **gate delay fault** model: every
+gate output stem and every fanout branch can be Slow-to-Rise (StR) or
+Slow-to-Fall (StF), and each such fault must be tested robustly.
+"""
+
+from repro.faults.model import (
+    DelayFaultType,
+    GateDelayFault,
+    FaultStatus,
+    FaultList,
+    enumerate_delay_faults,
+    sample_faults,
+)
+
+__all__ = [
+    "DelayFaultType",
+    "GateDelayFault",
+    "FaultStatus",
+    "FaultList",
+    "enumerate_delay_faults",
+    "sample_faults",
+]

@@ -1,0 +1,196 @@
+"""Gate delay fault model and fault-list bookkeeping.
+
+A :class:`GateDelayFault` is a (line, transition) pair: the line is a signal
+stem or a fanout branch (:class:`repro.circuit.Line`), the transition is
+Slow-to-Rise or Slow-to-Fall.  The fault is *provoked* by the corresponding
+transition at the line (``R`` for StR, ``F`` for StF) and, once provoked,
+behaves like the D / D̄ of static ATPG: the late transition means the faulty
+circuit still shows the initial value when the fast clock samples.
+
+:class:`FaultList` tracks the per-fault status used in the paper's Table 3:
+*tested*, *untestable* or *aborted* (plus *untargeted* for faults not yet
+processed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.algebra.values import DelayValue, F, FC, R, RC
+from repro.circuit.netlist import Circuit, Line
+
+
+class DelayFaultType(enum.Enum):
+    """Transition direction that is slow."""
+
+    SLOW_TO_RISE = "StR"
+    SLOW_TO_FALL = "StF"
+
+    @property
+    def activation_value(self) -> DelayValue:
+        """The transition that provokes the fault (``R`` for StR, ``F`` for StF)."""
+        return R if self is DelayFaultType.SLOW_TO_RISE else F
+
+    @property
+    def fault_value(self) -> DelayValue:
+        """The fault-carrying value at the provoked fault site (``Rc`` / ``Fc``)."""
+        return RC if self is DelayFaultType.SLOW_TO_RISE else FC
+
+    @property
+    def faulty_final_value(self) -> int:
+        """Settled value the *faulty* circuit shows at the fast sample time."""
+        return 0 if self is DelayFaultType.SLOW_TO_RISE else 1
+
+    @property
+    def good_final_value(self) -> int:
+        """Settled value the *good* circuit shows at the fast sample time."""
+        return 1 if self is DelayFaultType.SLOW_TO_RISE else 0
+
+
+@dataclasses.dataclass(frozen=True)
+class GateDelayFault:
+    """A single robust gate delay fault."""
+
+    line: Line
+    fault_type: DelayFaultType
+
+    def __str__(self) -> str:
+        return f"{self.line} {self.fault_type.value}"
+
+    @property
+    def signal(self) -> str:
+        """The driving signal of the fault line."""
+        return self.line.signal
+
+    @property
+    def activation_value(self) -> DelayValue:
+        return self.fault_type.activation_value
+
+    @property
+    def fault_value(self) -> DelayValue:
+        return self.fault_type.fault_value
+
+
+class FaultStatus(enum.Enum):
+    """Status of a fault during/after the ATPG campaign (Table 3 columns)."""
+
+    UNTARGETED = "untargeted"
+    TESTED = "tested"
+    UNTESTABLE = "untestable"
+    ABORTED = "aborted"
+
+
+def enumerate_delay_faults(
+    circuit: Circuit,
+    include_branches: bool = True,
+    include_dff_outputs: bool = True,
+) -> List[GateDelayFault]:
+    """Enumerate the complete gate delay fault universe of a circuit.
+
+    Every line (stem and, optionally, fanout branch) gets both an StR and an
+    StF fault, matching the paper: "each gate output and each fan out branch
+    can contain a Slow-to-Rise and a Slow-to-Fall fault".
+    """
+    faults: List[GateDelayFault] = []
+    for line in circuit.lines(include_dff_outputs=include_dff_outputs):
+        if not include_branches and line.is_branch:
+            continue
+        faults.append(GateDelayFault(line, DelayFaultType.SLOW_TO_RISE))
+        faults.append(GateDelayFault(line, DelayFaultType.SLOW_TO_FALL))
+    return faults
+
+
+def sample_faults(faults: List[GateDelayFault], max_count: Optional[int]) -> List[GateDelayFault]:
+    """Take a representative sample of a fault list.
+
+    When a campaign has to be capped (for example in the benchmark harness),
+    taking the *first* ``max_count`` faults would bias the sample towards the
+    primary inputs, which are the hardest lines to test robustly in deep
+    circuits.  This helper instead samples with a uniform stride across the
+    enumeration order, which spreads the targets over the whole circuit.
+    """
+    if max_count is None or max_count <= 0 or max_count >= len(faults):
+        return list(faults)
+    stride = len(faults) / max_count
+    return [faults[int(index * stride)] for index in range(max_count)]
+
+
+class FaultList:
+    """Mutable fault-status table for an ATPG campaign."""
+
+    def __init__(self, faults: Iterable[GateDelayFault]) -> None:
+        self._status: Dict[GateDelayFault, FaultStatus] = {
+            fault: FaultStatus.UNTARGETED for fault in faults
+        }
+        if not self._status:
+            raise ValueError("fault list is empty")
+
+    # -- iteration -------------------------------------------------------
+    def __iter__(self) -> Iterator[GateDelayFault]:
+        return iter(self._status)
+
+    def __len__(self) -> int:
+        return len(self._status)
+
+    def __contains__(self, fault: GateDelayFault) -> bool:
+        return fault in self._status
+
+    def faults(self) -> List[GateDelayFault]:
+        """All faults in enumeration order."""
+        return list(self._status)
+
+    def untargeted(self) -> List[GateDelayFault]:
+        """Faults that still need to be targeted by the generator."""
+        return [fault for fault, status in self._status.items() if status is FaultStatus.UNTARGETED]
+
+    def with_status(self, status: FaultStatus) -> List[GateDelayFault]:
+        return [fault for fault, current in self._status.items() if current is status]
+
+    # -- updates ---------------------------------------------------------
+    def status(self, fault: GateDelayFault) -> FaultStatus:
+        return self._status[fault]
+
+    def mark(self, fault: GateDelayFault, status: FaultStatus) -> None:
+        """Set the status of a fault.
+
+        A fault already marked *tested* is never downgraded (a later failed
+        targeting attempt does not matter once a pattern covers it).
+        """
+        if fault not in self._status:
+            raise KeyError(f"unknown fault {fault}")
+        if self._status[fault] is FaultStatus.TESTED and status is not FaultStatus.TESTED:
+            return
+        self._status[fault] = status
+
+    def mark_tested(self, faults: Iterable[GateDelayFault]) -> int:
+        """Mark several faults tested; returns how many were newly marked."""
+        newly = 0
+        for fault in faults:
+            if fault in self._status and self._status[fault] is not FaultStatus.TESTED:
+                self._status[fault] = FaultStatus.TESTED
+                newly += 1
+        return newly
+
+    # -- statistics ------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Return the Table 3 style counters."""
+        summary = {status.value: 0 for status in FaultStatus}
+        for status in self._status.values():
+            summary[status.value] += 1
+        summary["total"] = len(self._status)
+        return summary
+
+    def coverage(self) -> float:
+        """Fraction of faults marked tested."""
+        counts = self.counts()
+        return counts["tested"] / counts["total"]
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return (
+            f"FaultList(total={counts['total']}, tested={counts['tested']}, "
+            f"untestable={counts['untestable']}, aborted={counts['aborted']}, "
+            f"untargeted={counts['untargeted']})"
+        )

@@ -1,0 +1,31 @@
+"""FAUSIM — good machine simulation and propagation-phase fault simulation.
+
+The paper splits fault simulation into three phases (section 5); FAUSIM covers
+the first two:
+
+1. good machine simulation of all initialisation frames and the fast frame,
+2. stuck-at-style fault simulation of the propagation phase, injecting a D at
+   every pseudo primary output that holds a non-steady value at the end of
+   the fast frame and checking which of them become observable at a primary
+   output.
+
+The third phase (delay fault critical path tracing in the fast frame) lives in
+:mod:`repro.tdsim`.
+"""
+
+from repro.fausim.logic_sim import (
+    LogicSimulator,
+    simulate_combinational,
+    simulate_sequence,
+    SequenceResult,
+)
+from repro.fausim.fault_sim import PropagationFaultSimulator, PPOObservability
+
+__all__ = [
+    "LogicSimulator",
+    "simulate_combinational",
+    "simulate_sequence",
+    "SequenceResult",
+    "PropagationFaultSimulator",
+    "PPOObservability",
+]

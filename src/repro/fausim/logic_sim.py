@@ -1,0 +1,131 @@
+"""Three-valued logic simulation of the good machine.
+
+Values are ``0``, ``1`` and ``None`` (unknown, X).  The simulator evaluates
+the combinational block in levelised order and clocks the D flip-flops
+explicitly, which is all the sequential engines need: during initialisation
+and propagation only slow clocks are applied, so the machine under simulation
+is always the good machine (the delay fault cannot manifest).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuit.gates import evaluate_gate
+from repro.circuit.levelize import combinational_order
+from repro.circuit.netlist import Circuit
+
+LogicValue = Optional[int]
+SignalValues = Dict[str, LogicValue]
+
+
+class LogicSimulator:
+    """Levelised three-valued simulator bound to one circuit.
+
+    The evaluation order is computed once at construction; each call to
+    :meth:`combinational` or :meth:`clock` is then a single linear pass.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self._order = combinational_order(circuit)
+
+    def combinational(
+        self,
+        pi_values: SignalValues,
+        state: SignalValues,
+    ) -> SignalValues:
+        """Evaluate the combinational block for one time frame.
+
+        Args:
+            pi_values: value per primary input (missing entries default to X).
+            state: value per pseudo primary input (missing entries default to X).
+
+        Returns:
+            A dictionary with a value for every signal of the circuit
+            (primary inputs, PPIs and every gate output).
+        """
+        values: SignalValues = {}
+        for pi in self.circuit.primary_inputs:
+            values[pi] = pi_values.get(pi)
+        for ppi in self.circuit.pseudo_primary_inputs:
+            values[ppi] = state.get(ppi)
+        for name in self._order:
+            gate = self.circuit.gate(name)
+            inputs = [values[source] for source in gate.fanin]
+            values[name] = evaluate_gate(gate.gate_type, inputs)
+        return values
+
+    def next_state(self, frame_values: SignalValues) -> SignalValues:
+        """Extract the state that the flip-flops latch at the end of a frame."""
+        state: SignalValues = {}
+        for dff in self.circuit.flip_flops:
+            state[dff.name] = frame_values[dff.fanin[0]]
+        return state
+
+    def clock(
+        self,
+        pi_values: SignalValues,
+        state: SignalValues,
+    ) -> "FrameResult":
+        """Simulate one clock cycle: evaluate the frame and latch the next state."""
+        frame_values = self.combinational(pi_values, state)
+        return FrameResult(values=frame_values, next_state=self.next_state(frame_values))
+
+    def outputs(self, frame_values: SignalValues) -> SignalValues:
+        """Project the frame values onto the primary outputs."""
+        return {po: frame_values[po] for po in self.circuit.primary_outputs}
+
+
+@dataclasses.dataclass
+class FrameResult:
+    """Values of one simulated time frame and the state latched at its end."""
+
+    values: SignalValues
+    next_state: SignalValues
+
+
+@dataclasses.dataclass
+class SequenceResult:
+    """Result of simulating an input sequence frame by frame."""
+
+    frames: List[FrameResult]
+    final_state: SignalValues
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.frames)
+
+    def primary_output_trace(self, circuit: Circuit) -> List[SignalValues]:
+        """Primary output values of every frame."""
+        return [{po: frame.values[po] for po in circuit.primary_outputs} for frame in self.frames]
+
+
+def simulate_combinational(
+    circuit: Circuit,
+    pi_values: SignalValues,
+    state: Optional[SignalValues] = None,
+) -> SignalValues:
+    """One-shot combinational evaluation (convenience wrapper)."""
+    return LogicSimulator(circuit).combinational(pi_values, state or {})
+
+
+def simulate_sequence(
+    circuit: Circuit,
+    vectors: Sequence[SignalValues],
+    initial_state: Optional[SignalValues] = None,
+) -> SequenceResult:
+    """Simulate an input vector sequence starting from ``initial_state``.
+
+    Missing state entries and missing primary input values are X.  Returns the
+    per-frame values and the state after the last vector.
+    """
+    simulator = LogicSimulator(circuit)
+    state: SignalValues = dict(initial_state or {})
+    frames: List[FrameResult] = []
+    for vector in vectors:
+        frame = simulator.clock(vector, state)
+        frames.append(frame)
+        state = frame.next_state
+    return SequenceResult(frames=frames, final_state=state)

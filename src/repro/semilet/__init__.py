@@ -1,0 +1,31 @@
+"""SEMILET — sequential test generation support (FOGBUSTER technique).
+
+The paper couples TDgen with SEMILET, a sequential test pattern generator for
+static fault models.  Within the delay-fault flow SEMILET performs three
+tasks, all on the *fault-free* machine (only slow clocks are applied outside
+the test frame, so the delay fault cannot manifest):
+
+* **propagation** (forward time processing): drive a fault effect captured in
+  the state register to a primary output,
+* **propagation justification** (reverse time processing): turn pseudo
+  primary input values the propagation needed into requirements on the fast
+  clock frame, which are handed back to TDgen,
+* **synchronisation** (reverse time processing): compute an initialising
+  input sequence that brings the machine from the unknown power-up state into
+  the state the local test requires.
+"""
+
+from repro.semilet.justification import FrameJustifier, JustificationResult
+from repro.semilet.propagation import PropagationEngine, PropagationResult
+from repro.semilet.synchronization import Synchronizer, SynchronizationResult
+from repro.semilet.engine import Semilet
+
+__all__ = [
+    "FrameJustifier",
+    "JustificationResult",
+    "PropagationEngine",
+    "PropagationResult",
+    "Synchronizer",
+    "SynchronizationResult",
+    "Semilet",
+]

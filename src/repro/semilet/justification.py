@@ -1,0 +1,294 @@
+"""Single-frame justification (reverse time processing building block).
+
+Given required values on some signals of the combinational block (typically
+pseudo primary outputs), :class:`FrameJustifier` searches for an assignment of
+the primary inputs — and, if allowed, of the pseudo primary inputs — that
+forces those values in three-valued logic.  The PPI assignments it makes
+become the justification goal of the *previous* time frame, which is exactly
+how the reverse-time phases of FOGBUSTER (propagation justification and
+synchronisation) proceed.
+
+The search is a small PODEM: decisions only on inputs, forward implication by
+levelised three-valued simulation, objective-driven backtrace using
+controlling values, and a backtrack limit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.gates import GateType, controlling_value, inversion_parity
+from repro.circuit.netlist import Circuit
+from repro.fausim.logic_sim import LogicSimulator, SignalValues
+
+
+@dataclasses.dataclass
+class JustificationResult:
+    """Outcome of a single-frame justification."""
+
+    success: bool
+    pi_assignment: Dict[str, int] = dataclasses.field(default_factory=dict)
+    ppi_assignment: Dict[str, int] = dataclasses.field(default_factory=dict)
+    backtracks: int = 0
+    aborted: bool = False
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+@dataclasses.dataclass
+class _Decision:
+    name: str
+    is_pi: bool
+    alternatives: List[int]
+
+
+class FrameJustifier:
+    """Justify value requirements within one combinational time frame.
+
+    Args:
+        circuit: the circuit whose combinational block is searched.
+        backtrack_limit: abort after this many backtracks (paper: 100 for the
+            sequential generator).
+        decide_ppis: whether pseudo primary inputs may be assigned.  The
+            synchronisation phase allows it (the assignments become the goal of
+            the previous frame); a pure input-vector search does not.
+        prefer_few_ppi_assignments: backtrace into primary inputs before
+            pseudo primary inputs, so the previous-frame goal stays as small as
+            possible.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        backtrack_limit: int = 100,
+        decide_ppis: bool = True,
+        prefer_few_ppi_assignments: bool = True,
+    ) -> None:
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self.decide_ppis = decide_ppis
+        self.prefer_few_ppi_assignments = prefer_few_ppi_assignments
+        self._simulator = LogicSimulator(circuit)
+
+    def justify(
+        self,
+        objectives: Dict[str, int],
+        fixed_ppis: Optional[Dict[str, int]] = None,
+        fixed_pis: Optional[Dict[str, int]] = None,
+    ) -> JustificationResult:
+        """Search for an assignment meeting all objectives.
+
+        Args:
+            objectives: required value per signal (usually PPO signals, but any
+                combinational signal is allowed).
+            fixed_ppis: pseudo primary input values that are already known and
+                must not be re-decided.
+            fixed_pis: primary input values that are already fixed.
+        """
+        fixed_ppis = dict(fixed_ppis or {})
+        fixed_pis = dict(fixed_pis or {})
+        pi_values: Dict[str, Optional[int]] = {
+            pi: fixed_pis.get(pi) for pi in self.circuit.primary_inputs
+        }
+        ppi_values: Dict[str, Optional[int]] = {
+            ppi: fixed_ppis.get(ppi) for ppi in self.circuit.pseudo_primary_inputs
+        }
+
+        stack: List[_Decision] = []
+        backtracks = 0
+
+        while True:
+            frame = self._simulate(pi_values, ppi_values)
+            status = self._classify(frame, objectives)
+            if status == "success":
+                return JustificationResult(
+                    success=True,
+                    pi_assignment={
+                        pi: value for pi, value in pi_values.items()
+                        if value is not None and pi not in fixed_pis
+                    },
+                    ppi_assignment={
+                        ppi: value for ppi, value in ppi_values.items()
+                        if value is not None and ppi not in fixed_ppis
+                    },
+                    backtracks=backtracks,
+                )
+            if status == "conflict":
+                flipped = False
+                while stack:
+                    decision = stack[-1]
+                    self._unassign(decision, pi_values, ppi_values)
+                    if decision.alternatives:
+                        value = decision.alternatives.pop(0)
+                        self._assign(decision, value, pi_values, ppi_values)
+                        backtracks += 1
+                        flipped = True
+                        break
+                    stack.pop()
+                if not flipped:
+                    return JustificationResult(success=False, backtracks=backtracks)
+                if backtracks > self.backtrack_limit:
+                    return JustificationResult(success=False, backtracks=backtracks, aborted=True)
+                continue
+
+            decision_key = self._next_decision(frame, objectives, pi_values, ppi_values)
+            if decision_key is None:
+                # Nothing left to decide and objectives are still open: force a
+                # backtrack by treating this as a conflict.
+                if not stack:
+                    return JustificationResult(success=False, backtracks=backtracks)
+                decision = stack[-1]
+                self._unassign(decision, pi_values, ppi_values)
+                if decision.alternatives:
+                    self._assign(decision, decision.alternatives.pop(0), pi_values, ppi_values)
+                    backtracks += 1
+                    if backtracks > self.backtrack_limit:
+                        return JustificationResult(
+                            success=False, backtracks=backtracks, aborted=True
+                        )
+                else:
+                    stack.pop()
+                continue
+
+            name, is_pi, preferred = decision_key
+            decision = _Decision(name=name, is_pi=is_pi, alternatives=[1 - preferred])
+            self._assign(decision, preferred, pi_values, ppi_values)
+            stack.append(decision)
+
+    # ------------------------------------------------------------------ #
+    def _simulate(
+        self,
+        pi_values: Dict[str, Optional[int]],
+        ppi_values: Dict[str, Optional[int]],
+    ) -> SignalValues:
+        pis = {pi: value for pi, value in pi_values.items() if value is not None}
+        state = {ppi: value for ppi, value in ppi_values.items() if value is not None}
+        return self._simulator.combinational(pis, state)
+
+    @staticmethod
+    def _classify(frame: SignalValues, objectives: Dict[str, int]) -> str:
+        met = True
+        for signal, target in objectives.items():
+            value = frame[signal]
+            if value is None:
+                met = False
+            elif value != target:
+                return "conflict"
+        return "success" if met else "continue"
+
+    def _next_decision(
+        self,
+        frame: SignalValues,
+        objectives: Dict[str, int],
+        pi_values: Dict[str, Optional[int]],
+        ppi_values: Dict[str, Optional[int]],
+    ) -> Optional[Tuple[str, bool, int]]:
+        for signal, target in objectives.items():
+            if frame[signal] is None:
+                traced = self._backtrace(signal, target, frame, pi_values, ppi_values)
+                if traced is not None:
+                    return traced
+        # Fall back to any free input.
+        for pi, value in pi_values.items():
+            if value is None:
+                return (pi, True, 0)
+        if self.decide_ppis:
+            for ppi, value in ppi_values.items():
+                if value is None:
+                    return (ppi, False, 0)
+        return None
+
+    def _backtrace(
+        self,
+        signal: str,
+        target: int,
+        frame: SignalValues,
+        pi_values: Dict[str, Optional[int]],
+        ppi_values: Dict[str, Optional[int]],
+    ) -> Optional[Tuple[str, bool, int]]:
+        """Controlling-value backtrace to an unassigned input.
+
+        The trace explores alternative fanin branches depth-first and prefers
+        landing on a primary input over a pseudo primary input: PPI
+        assignments become requirements on the previous time frame, so the
+        reverse-time phases want as few of them as possible.
+        """
+        best_ppi: List[Tuple[str, bool, int]] = []
+        visited: set = set()
+
+        def descend(current: str, desired: int, depth: int) -> Optional[Tuple[str, bool, int]]:
+            if depth > len(self.circuit.gates) + 1:
+                return None
+            if (current, desired) in visited:
+                return None
+            visited.add((current, desired))
+            gate = self.circuit.gate(current)
+            if gate.is_input:
+                if pi_values[current] is not None:
+                    return None
+                return (current, True, desired)
+            if gate.is_dff:
+                if self.decide_ppis and ppi_values[current] is None:
+                    best_ppi.append((current, False, desired))
+                return None
+
+            gate_type = gate.gate_type
+            if gate_type in (GateType.NOT, GateType.BUF):
+                return descend(gate.fanin[0], desired ^ inversion_parity(gate_type), depth + 1)
+
+            x_inputs = [s for s in gate.fanin if frame[s] is None]
+            if not x_inputs:
+                return None
+            desired_core = desired ^ inversion_parity(gate_type)
+
+            if gate_type in (GateType.XOR, GateType.XNOR):
+                known_parity = 0
+                for source in gate.fanin:
+                    if frame[source] is not None:
+                        known_parity ^= frame[source]
+                for source in x_inputs:
+                    found = descend(source, desired_core ^ known_parity, depth + 1)
+                    if found is not None:
+                        return found
+                return None
+
+            ctrl = controlling_value(gate_type)
+            branch_target = ctrl if desired_core == ctrl else 1 - ctrl
+            for source in x_inputs:
+                found = descend(source, branch_target, depth + 1)
+                if found is not None:
+                    return found
+            return None
+
+        found = descend(signal, target, 0)
+        if found is not None:
+            return found
+        if best_ppi:
+            return best_ppi[0]
+        return None
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _assign(
+        decision: _Decision,
+        value: int,
+        pi_values: Dict[str, Optional[int]],
+        ppi_values: Dict[str, Optional[int]],
+    ) -> None:
+        if decision.is_pi:
+            pi_values[decision.name] = value
+        else:
+            ppi_values[decision.name] = value
+
+    @staticmethod
+    def _unassign(
+        decision: _Decision,
+        pi_values: Dict[str, Optional[int]],
+        ppi_values: Dict[str, Optional[int]],
+    ) -> None:
+        if decision.is_pi:
+            pi_values[decision.name] = None
+        else:
+            ppi_values[decision.name] = None

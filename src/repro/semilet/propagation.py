@@ -1,0 +1,429 @@
+"""Fault-effect propagation with forward time processing.
+
+After the fast clock frame the fault effect sits in the state register: the
+good machine and the faulty machine agree on every signal except one or more
+pseudo primary inputs (and possibly disagree on nothing observable yet).
+Because only slow clocks are applied from now on, both machines follow the
+same fault-free logic; the effect behaves like a static D injected into the
+state.
+
+:class:`PropagationEngine` searches, frame by frame (forward time
+processing), for primary input vectors that steer the difference to a primary
+output.  Within a frame it runs a small PODEM over the pair logic
+(good value, faulty value); across frames it backtracks over the alternative
+pseudo primary outputs the difference was parked in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.circuit.gates import GateType, controlling_value, evaluate_gate, inversion_parity
+from repro.circuit.levelize import combinational_order
+from repro.circuit.netlist import Circuit
+from repro.fausim.logic_sim import SignalValues
+
+PairValue = Tuple[Optional[int], Optional[int]]  # (good, faulty)
+
+
+@dataclasses.dataclass
+class FrameSolution:
+    """One frame of a propagation solution."""
+
+    pi_assignment: Dict[str, int]
+    observed_po: Optional[str]
+    next_good_state: SignalValues
+    next_faulty_state: SignalValues
+    required_free_ppis: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class PropagationResult:
+    """Outcome of the propagation phase."""
+
+    success: bool
+    vectors: List[Dict[str, int]] = dataclasses.field(default_factory=list)
+    observed_po: Optional[str] = None
+    observation_frame: Optional[int] = None
+    required_first_frame_ppis: Dict[str, int] = dataclasses.field(default_factory=dict)
+    backtracks: int = 0
+    aborted: bool = False
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+class PropagationEngine:
+    """Multi-frame forward propagation of a captured fault effect."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        max_frames: Optional[int] = None,
+        backtrack_limit: int = 100,
+        frame_alternatives: int = 3,
+    ) -> None:
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self.frame_alternatives = frame_alternatives
+        if max_frames is None:
+            max_frames = max(2 * len(circuit.flip_flops) + 2, 4)
+        self.max_frames = min(max_frames, 64)
+        self._order = combinational_order(circuit)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def propagate(
+        self,
+        good_state: SignalValues,
+        faulty_state: SignalValues,
+        assignable_ppis: Optional[Sequence[str]] = None,
+    ) -> PropagationResult:
+        """Find input vectors that make the state difference visible at a PO.
+
+        Args:
+            good_state: good machine state after the fast frame (X allowed).
+            faulty_state: faulty machine state after the fast frame.
+            assignable_ppis: pseudo primary inputs whose (currently unknown)
+                value the *first* propagation frame may require; the chosen
+                values are returned as ``required_first_frame_ppis`` and must
+                then be justified by TDgen in the fast frame (propagation
+                justification).
+        """
+        budget = {"backtracks": 0}
+        assignable = set(assignable_ppis or [])
+        frames = self._search(
+            good_state, faulty_state, depth=0, budget=budget, assignable=assignable
+        )
+        if frames is None:
+            return PropagationResult(
+                success=False,
+                backtracks=budget["backtracks"],
+                aborted=budget["backtracks"] > self.backtrack_limit,
+            )
+        vectors = [frame.pi_assignment for frame in frames]
+        required = dict(frames[0].required_free_ppis) if frames else {}
+        return PropagationResult(
+            success=True,
+            vectors=vectors,
+            observed_po=frames[-1].observed_po,
+            observation_frame=len(frames) - 1,
+            required_first_frame_ppis=required,
+            backtracks=budget["backtracks"],
+        )
+
+    # ------------------------------------------------------------------ #
+    # recursive frame search
+    # ------------------------------------------------------------------ #
+    def _search(
+        self,
+        good_state: SignalValues,
+        faulty_state: SignalValues,
+        depth: int,
+        budget: Dict[str, int],
+        assignable: Set[str],
+    ) -> Optional[List[FrameSolution]]:
+        if depth >= self.max_frames or budget["backtracks"] > self.backtrack_limit:
+            return None
+
+        first_frame_assignable = assignable if depth == 0 else set()
+
+        # Goal 1: observe the difference at a primary output in this frame.
+        solution = self._solve_frame(
+            good_state, faulty_state, goal="po", blocked_targets=set(),
+            assignable=first_frame_assignable,
+        )
+        if solution is not None:
+            return [solution]
+
+        # Goal 2: park the difference in the next state and recurse.
+        blocked: Set[str] = set()
+        for _ in range(self.frame_alternatives):
+            solution = self._solve_frame(
+                good_state, faulty_state, goal="ppo", blocked_targets=blocked,
+                assignable=first_frame_assignable,
+            )
+            if solution is None:
+                return None
+            rest = self._search(
+                solution.next_good_state,
+                solution.next_faulty_state,
+                depth + 1,
+                budget,
+                assignable,
+            )
+            if rest is not None:
+                return [solution] + rest
+            budget["backtracks"] += 1
+            if budget["backtracks"] > self.backtrack_limit:
+                return None
+            # Try steering the difference into other state bits next time.
+            blocked.update(
+                ppi
+                for ppi in self.circuit.pseudo_primary_inputs
+                if _differs(solution.next_good_state.get(ppi), solution.next_faulty_state.get(ppi))
+            )
+        return None
+
+    # ------------------------------------------------------------------ #
+    # single-frame pair-logic PODEM
+    # ------------------------------------------------------------------ #
+    def _solve_frame(
+        self,
+        good_state: SignalValues,
+        faulty_state: SignalValues,
+        goal: str,
+        blocked_targets: Set[str],
+        assignable: Set[str],
+    ) -> Optional[FrameSolution]:
+        pi_values: Dict[str, Optional[int]] = {pi: None for pi in self.circuit.primary_inputs}
+        free_ppi_values: Dict[str, Optional[int]] = {ppi: None for ppi in assignable}
+
+        stack: List[Tuple[str, bool, List[int]]] = []  # (name, is_pi, alternatives)
+        backtracks = 0
+
+        while True:
+            pairs = self._simulate_pair(pi_values, good_state, faulty_state, free_ppi_values)
+            status = self._classify_frame(pairs, goal, blocked_targets)
+            if status == "success":
+                next_good = {}
+                next_faulty = {}
+                for dff in self.circuit.flip_flops:
+                    good_value, faulty_value = pairs[dff.fanin[0]]
+                    next_good[dff.name] = good_value
+                    next_faulty[dff.name] = faulty_value
+                observed = None
+                if goal == "po":
+                    for po in self.circuit.primary_outputs:
+                        if _differs(*pairs[po]):
+                            observed = po
+                            break
+                return FrameSolution(
+                    pi_assignment={
+                        pi: value for pi, value in pi_values.items() if value is not None
+                    },
+                    observed_po=observed,
+                    next_good_state=next_good,
+                    next_faulty_state=next_faulty,
+                    required_free_ppis={
+                        ppi: value for ppi, value in free_ppi_values.items() if value is not None
+                    },
+                )
+            if status == "conflict":
+                flipped = False
+                while stack:
+                    name, is_pi, alternatives = stack[-1]
+                    self._set_frame_var(name, is_pi, None, pi_values, free_ppi_values)
+                    if alternatives:
+                        self._set_frame_var(
+                            name, is_pi, alternatives.pop(0), pi_values, free_ppi_values
+                        )
+                        backtracks += 1
+                        flipped = True
+                        break
+                    stack.pop()
+                if not flipped or backtracks > self.backtrack_limit:
+                    return None
+                continue
+
+            decision = self._frame_decision(pairs, goal, blocked_targets, pi_values, free_ppi_values)
+            if decision is None:
+                if not stack:
+                    return None
+                name, is_pi, alternatives = stack[-1]
+                self._set_frame_var(name, is_pi, None, pi_values, free_ppi_values)
+                if alternatives:
+                    self._set_frame_var(
+                        name, is_pi, alternatives.pop(0), pi_values, free_ppi_values
+                    )
+                    backtracks += 1
+                    if backtracks > self.backtrack_limit:
+                        return None
+                else:
+                    stack.pop()
+                continue
+            name, is_pi, preferred = decision
+            stack.append((name, is_pi, [1 - preferred]))
+            self._set_frame_var(name, is_pi, preferred, pi_values, free_ppi_values)
+
+    def _simulate_pair(
+        self,
+        pi_values: Dict[str, Optional[int]],
+        good_state: SignalValues,
+        faulty_state: SignalValues,
+        free_ppi_values: Dict[str, Optional[int]],
+    ) -> Dict[str, PairValue]:
+        """Simulate good and faulty machines of one frame in lock step."""
+        pairs: Dict[str, PairValue] = {}
+        for pi in self.circuit.primary_inputs:
+            value = pi_values[pi]
+            pairs[pi] = (value, value)
+        for ppi in self.circuit.pseudo_primary_inputs:
+            good_value = good_state.get(ppi)
+            faulty_value = faulty_state.get(ppi)
+            if ppi in free_ppi_values and free_ppi_values[ppi] is not None:
+                # A value required from the fast frame: identical in both
+                # machines (the fault effect is only in the explicitly faulty bits).
+                good_value = free_ppi_values[ppi]
+                faulty_value = free_ppi_values[ppi]
+            pairs[ppi] = (good_value, faulty_value)
+        for name in self._order:
+            gate = self.circuit.gate(name)
+            good_inputs = [pairs[s][0] for s in gate.fanin]
+            faulty_inputs = [pairs[s][1] for s in gate.fanin]
+            pairs[name] = (
+                evaluate_gate(gate.gate_type, good_inputs),
+                evaluate_gate(gate.gate_type, faulty_inputs),
+            )
+        return pairs
+
+    def _classify_frame(
+        self,
+        pairs: Dict[str, PairValue],
+        goal: str,
+        blocked_targets: Set[str],
+    ) -> str:
+        targets = (
+            self.circuit.primary_outputs
+            if goal == "po"
+            else [ppi for ppi in self.circuit.pseudo_primary_inputs if ppi not in blocked_targets]
+        )
+        achieved = False
+        for target in targets:
+            signal = target if goal == "po" else self.circuit.ppo_of_ppi(target)
+            if _differs(*pairs[signal]):
+                achieved = True
+                break
+        if achieved:
+            return "success"
+        # X-path style check: the difference must still be able to reach a target.
+        potential = self._potential_difference(pairs)
+        for target in targets:
+            signal = target if goal == "po" else self.circuit.ppo_of_ppi(target)
+            if potential.get(signal):
+                return "continue"
+        return "conflict"
+
+    def _potential_difference(self, pairs: Dict[str, PairValue]) -> Dict[str, bool]:
+        """Over-approximate which signals could still differ between machines."""
+        potential: Dict[str, bool] = {}
+        for pi in self.circuit.primary_inputs:
+            potential[pi] = False
+        for ppi in self.circuit.pseudo_primary_inputs:
+            good_value, faulty_value = pairs[ppi]
+            if good_value is None or faulty_value is None:
+                potential[ppi] = good_value is not faulty_value and not (
+                    good_value is None and faulty_value is None
+                )
+                # An X/X pair is the *same* unknown in both machines, never a
+                # difference source; a binary/X mix could be.
+                if good_value is None and faulty_value is None:
+                    potential[ppi] = False
+            else:
+                potential[ppi] = good_value != faulty_value
+        for name in self._order:
+            gate = self.circuit.gate(name)
+            good_value, faulty_value = pairs[name]
+            if good_value is not None and faulty_value is not None:
+                potential[name] = good_value != faulty_value
+            else:
+                potential[name] = any(potential[s] for s in gate.fanin)
+        return potential
+
+    def _frame_decision(
+        self,
+        pairs: Dict[str, PairValue],
+        goal: str,
+        blocked_targets: Set[str],
+        pi_values: Dict[str, Optional[int]],
+        free_ppi_values: Dict[str, Optional[int]],
+    ) -> Optional[Tuple[str, bool, int]]:
+        """Choose the next input assignment via a D-frontier driven backtrace."""
+        frontier = self._d_frontier(pairs)
+        for gate_name in frontier:
+            gate = self.circuit.gate(gate_name)
+            ctrl = controlling_value(gate.gate_type)
+            non_ctrl = 1 - ctrl if ctrl is not None else 1
+            for source in gate.fanin:
+                good_value, faulty_value = pairs[source]
+                if good_value is None and faulty_value is None:
+                    traced = self._backtrace(source, non_ctrl, pairs, pi_values, free_ppi_values)
+                    if traced is not None:
+                        return traced
+        # Fallback: assign any free variable.
+        for pi, value in pi_values.items():
+            if value is None:
+                return (pi, True, 0)
+        for ppi, value in free_ppi_values.items():
+            if value is None:
+                return (ppi, False, 0)
+        return None
+
+    def _d_frontier(self, pairs: Dict[str, PairValue]) -> List[str]:
+        frontier = []
+        for name in self._order:
+            good_value, faulty_value = pairs[name]
+            if good_value is not None and faulty_value is not None:
+                continue
+            gate = self.circuit.gate(name)
+            if any(_differs(*pairs[s]) for s in gate.fanin):
+                frontier.append(name)
+        return frontier
+
+    def _backtrace(
+        self,
+        signal: str,
+        target: int,
+        pairs: Dict[str, PairValue],
+        pi_values: Dict[str, Optional[int]],
+        free_ppi_values: Dict[str, Optional[int]],
+    ) -> Optional[Tuple[str, bool, int]]:
+        current, desired = signal, target
+        for _ in range(len(self.circuit.gates) + 1):
+            gate = self.circuit.gate(current)
+            if gate.is_input:
+                if pi_values[current] is not None:
+                    return None
+                return (current, True, desired)
+            if gate.is_dff:
+                if current in free_ppi_values and free_ppi_values[current] is None:
+                    return (current, False, desired)
+                return None
+            gate_type = gate.gate_type
+            if gate_type in (GateType.NOT, GateType.BUF):
+                desired ^= inversion_parity(gate_type)
+                current = gate.fanin[0]
+                continue
+            x_inputs = [s for s in gate.fanin if pairs[s][0] is None and pairs[s][1] is None]
+            if not x_inputs:
+                return None
+            ctrl = controlling_value(gate_type)
+            desired_core = desired ^ inversion_parity(gate_type)
+            current = x_inputs[0]
+            if ctrl is None:
+                desired = desired_core
+            elif desired_core == ctrl:
+                desired = ctrl
+            else:
+                desired = 1 - ctrl
+        return None
+
+    @staticmethod
+    def _set_frame_var(
+        name: str,
+        is_pi: bool,
+        value: Optional[int],
+        pi_values: Dict[str, Optional[int]],
+        free_ppi_values: Dict[str, Optional[int]],
+    ) -> None:
+        if is_pi:
+            pi_values[name] = value
+        else:
+            free_ppi_values[name] = value
+
+
+def _differs(good_value: Optional[int], faulty_value: Optional[int]) -> bool:
+    """True when both machines have binary values that provably differ."""
+    return good_value is not None and faulty_value is not None and good_value != faulty_value

@@ -1,0 +1,595 @@
+"""TDgen decision procedure.
+
+A PODEM-style branch-and-bound: decisions are made only on primary input
+pairs (four possible values each: ``0``, ``1``, ``R``, ``F``) and on the
+initial-frame values of the pseudo primary inputs (two possible values each).
+Every other signal is derived by the forward implication of
+:mod:`repro.tdgen.simulation`.  Because each decision node enumerates the
+complete domain of its variable, exhausting the decision tree proves the
+fault robustly untestable in the combinational sense; hitting the backtrack
+limit aborts the fault (Table 3's "aborted" column).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.sets import (
+    ValueSet,
+    backward_input_sets,
+    contains,
+    has_fault_value,
+    is_singleton,
+    members,
+    single_value,
+)
+from repro.algebra.values import (
+    DelayValue,
+    F,
+    FC,
+    H0,
+    H1,
+    PI_VALUES,
+    R,
+    RC,
+    V0,
+    V1,
+)
+from repro.circuit.netlist import Circuit
+from repro.faults.model import GateDelayFault
+from repro.tdgen.context import TDgenContext
+from repro.tdgen.result import LocalTest, LocalTestStatus
+from repro.tdgen.simulation import (
+    FAULT_MASK,
+    TwoFrameState,
+    gate_input_sets,
+    simulate_two_frame,
+)
+
+_PI_VALUE_ORDER: Tuple[DelayValue, ...] = (V0, V1, R, F)
+
+
+@dataclasses.dataclass
+class _Decision:
+    """One node of the decision tree."""
+
+    kind: str  # "pi" or "ppi"
+    name: str
+    alternatives: List[object]
+
+
+class TDgen:
+    """Local robust gate delay fault test generator.
+
+    Args:
+        circuit: circuit (or a prebuilt :class:`TDgenContext`).
+        robust: use the robust algebra (paper Table 1) or the relaxed
+            non-robust variant.
+        backtrack_limit: abort the fault after this many backtracks
+            (paper: 100).
+        max_decisions: hard safety bound on the number of decisions per fault.
+        prefer_po_observation: steer propagation towards primary outputs
+            before pseudo primary outputs.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        robust: bool = True,
+        backtrack_limit: int = 100,
+        max_decisions: int = 20000,
+        prefer_po_observation: bool = True,
+        context: Optional[TDgenContext] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.context = context or TDgenContext(circuit)
+        self.robust = robust
+        self.backtrack_limit = backtrack_limit
+        self.max_decisions = max_decisions
+        self.prefer_po_observation = prefer_po_observation
+        self._ppo_signals = list(dict.fromkeys(circuit.pseudo_primary_outputs))
+        self._po_signals = list(dict.fromkeys(circuit.primary_outputs))
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def generate(
+        self,
+        fault: GateDelayFault,
+        required_ppo_values: Optional[Dict[str, int]] = None,
+        blocked_observation: Sequence[str] = (),
+        allow_ppo_observation: bool = True,
+        blocked_states: Sequence[Dict[str, int]] = (),
+    ) -> LocalTest:
+        """Generate a robust two-pattern test for ``fault``.
+
+        Args:
+            fault: the targeted gate delay fault.
+            required_ppo_values: extra justification objectives — PPO signals
+                that must settle to a clean steady value (used by the
+                propagation-justification step of FOGBUSTER).
+            blocked_observation: observation signals the caller does not want
+                the fault effect steered to (used when the flow backtracks
+                between its phases).
+            allow_ppo_observation: when ``False`` only primary outputs count as
+                observation points (the enhanced-scan baseline sets this).
+            blocked_states: partial initial-state requirements that the caller
+                has proven unreachable (unsynchronisable); the search treats
+                any assignment that requires one of them as a conflict.  This
+                is the inter-phase backtracking channel of FOGBUSTER: when the
+                initialisation phase fails, the flow re-enters local test
+                generation with the failing state blocked.
+        """
+        constraints = dict(required_ppo_values or {})
+        blocked: Set[str] = set(blocked_observation)
+        self._blocked_states = [dict(state) for state in blocked_states if state]
+
+        pi_values: Dict[str, Optional[DelayValue]] = {
+            pi: None for pi in self.circuit.primary_inputs
+        }
+        ppi_initial: Dict[str, Optional[int]] = {
+            ppi: None for ppi in self.circuit.pseudo_primary_inputs
+        }
+
+        stack: List[_Decision] = []
+        backtracks = 0
+        decisions = 0
+
+        while True:
+            state = simulate_two_frame(
+                self.context, pi_values, ppi_initial, fault, robust=self.robust
+            )
+            outcome = self._classify(state, fault, constraints, blocked, allow_ppo_observation)
+
+            if outcome == "success":
+                return self._build_result(
+                    fault, state, pi_values, ppi_initial, blocked,
+                    allow_ppo_observation, backtracks, decisions,
+                )
+
+            if outcome == "conflict":
+                flipped = False
+                while stack:
+                    decision = stack[-1]
+                    self._unassign(decision, pi_values, ppi_initial)
+                    if decision.alternatives:
+                        value = decision.alternatives.pop(0)
+                        self._assign(decision, value, pi_values, ppi_initial)
+                        backtracks += 1
+                        flipped = True
+                        break
+                    stack.pop()
+                if not flipped:
+                    return LocalTest(
+                        fault=fault,
+                        status=LocalTestStatus.UNTESTABLE,
+                        backtracks=backtracks,
+                        decisions=decisions,
+                    )
+                if backtracks > self.backtrack_limit:
+                    return LocalTest(
+                        fault=fault,
+                        status=LocalTestStatus.ABORTED,
+                        backtracks=backtracks,
+                        decisions=decisions,
+                    )
+                continue
+
+            # outcome == "continue": pick an objective and a new decision.
+            objective = self._objective(state, fault, constraints, blocked, allow_ppo_observation)
+            decision_key, preferred = (None, None)
+            if objective is not None:
+                decision_key, preferred = self._backtrace(objective, state, fault, pi_values, ppi_initial)
+            if decision_key is None:
+                decision_key, preferred = self._fallback_decision(pi_values, ppi_initial)
+            if decision_key is None:
+                # Everything is assigned yet neither success nor conflict was
+                # reported; treat as a conflict to force backtracking.
+                stackless_conflict = not stack
+                if stackless_conflict:
+                    return LocalTest(
+                        fault=fault,
+                        status=LocalTestStatus.UNTESTABLE,
+                        backtracks=backtracks,
+                        decisions=decisions,
+                    )
+                decision = stack[-1]
+                self._unassign(decision, pi_values, ppi_initial)
+                if decision.alternatives:
+                    self._assign(decision, decision.alternatives.pop(0), pi_values, ppi_initial)
+                    backtracks += 1
+                else:
+                    stack.pop()
+                if backtracks > self.backtrack_limit:
+                    return LocalTest(
+                        fault=fault,
+                        status=LocalTestStatus.ABORTED,
+                        backtracks=backtracks,
+                        decisions=decisions,
+                    )
+                continue
+
+            kind, name = decision_key
+            domain = list(_PI_VALUE_ORDER) if kind == "pi" else [0, 1]
+            ordered = [preferred] + [value for value in domain if value != preferred]
+            decision = _Decision(kind=kind, name=name, alternatives=ordered[1:])
+            self._assign_value(kind, name, ordered[0], pi_values, ppi_initial)
+            stack.append(decision)
+            decisions += 1
+            if decisions > self.max_decisions:
+                return LocalTest(
+                    fault=fault,
+                    status=LocalTestStatus.ABORTED,
+                    backtracks=backtracks,
+                    decisions=decisions,
+                )
+
+    # ------------------------------------------------------------------ #
+    # classification of a simulation state
+    # ------------------------------------------------------------------ #
+    def _observation_signals(
+        self, blocked: Set[str], allow_ppo_observation: bool
+    ) -> List[str]:
+        signals = [po for po in self._po_signals if po not in blocked]
+        if allow_ppo_observation:
+            signals.extend(ppo for ppo in self._ppo_signals if ppo not in blocked)
+        return signals
+
+    def _classify(
+        self,
+        state: TwoFrameState,
+        fault: GateDelayFault,
+        constraints: Dict[str, int],
+        blocked: Set[str],
+        allow_ppo_observation: bool,
+    ) -> str:
+        if state.has_conflict():
+            return "conflict"
+
+        # Blocked (unsynchronisable) initial states: if the current decisions
+        # already pin the state to one of them, force a backtrack.
+        for blocked_state in getattr(self, "_blocked_states", []):
+            if all(
+                is_singleton(state.ppi_pair_sets.get(ppi, 0))
+                and single_value(state.ppi_pair_sets[ppi]).initial == value
+                for ppi, value in blocked_state.items()
+            ):
+                return "conflict"
+
+        # Activation check: the fault-carrying value must still be possible at
+        # the fault line.
+        if not contains(state.fault_line_set, fault.fault_value):
+            return "conflict"
+
+        # Constraint feasibility: every required PPO value must still be able
+        # to settle to the requested value (robust mode additionally demands a
+        # clean steady waveform, see section 6 of the paper).
+        for ppo, value in constraints.items():
+            if not self._constraint_possible(state.signal_sets[ppo], value):
+                return "conflict"
+
+        observation = self._observation_signals(blocked, allow_ppo_observation)
+        # X-path check: some observation point must still be able to carry the
+        # fault effect.
+        if not any(has_fault_value(state.signal_sets[signal]) for signal in observation):
+            return "conflict"
+
+        # Success: a guaranteed fault value at an observation point and all
+        # constraints definitely satisfied.
+        observed = [
+            signal
+            for signal in observation
+            if is_singleton(state.signal_sets[signal])
+            and has_fault_value(state.signal_sets[signal])
+        ]
+        if observed:
+            satisfied = all(
+                self._constraint_satisfied(state.signal_sets[ppo], value)
+                for ppo, value in constraints.items()
+            )
+            if satisfied:
+                return "success"
+        return "continue"
+
+    def _constraint_possible(self, value_set: ValueSet, required: int) -> bool:
+        """Can this PPO still be specified to SEMILET with the required value?"""
+        if self.robust:
+            needed = V0 if required == 0 else V1
+            return contains(value_set, needed)
+        return any(
+            value.final == required and not value.fault for value in members(value_set)
+        )
+
+    def _constraint_satisfied(self, value_set: ValueSet, required: int) -> bool:
+        """Is the required PPO value guaranteed under the current assignment?"""
+        if not is_singleton(value_set):
+            return False
+        value = single_value(value_set)
+        if value.fault:
+            return False
+        if self.robust:
+            return value.is_hazard_free_steady and value.final == required
+        return value.final == required
+
+    # ------------------------------------------------------------------ #
+    # objectives and backtrace
+    # ------------------------------------------------------------------ #
+    def _objective(
+        self,
+        state: TwoFrameState,
+        fault: GateDelayFault,
+        constraints: Dict[str, int],
+        blocked: Set[str],
+        allow_ppo_observation: bool,
+    ) -> Optional[Tuple[str, DelayValue]]:
+        # 1. Activate the fault: drive the fault site to the provoking transition.
+        if not (
+            is_singleton(state.fault_line_set)
+            and contains(state.fault_line_set, fault.fault_value)
+        ):
+            return (fault.line.signal, fault.activation_value)
+
+        # 2. Satisfy outstanding justification constraints (propagation
+        #    justification requirements coming back from SEMILET).
+        for ppo, value in constraints.items():
+            needed = V0 if value == 0 else V1
+            value_set = state.signal_sets[ppo]
+            if not (is_singleton(value_set) and contains(value_set, needed)):
+                return (ppo, needed)
+
+        # 3. Propagate: pick a D-frontier gate and set an off-path input.
+        frontier = self._d_frontier(state, fault)
+        if not frontier:
+            return None
+        frontier.sort(key=lambda name: self._frontier_rank(name))
+        for gate_name in frontier:
+            objective = self._off_path_objective(state, fault, gate_name)
+            if objective is not None:
+                return objective
+        return None
+
+    def _frontier_rank(self, gate_name: str) -> Tuple[int, str]:
+        if self.prefer_po_observation:
+            distance = self.context.observation_distance(gate_name, pos_only=True)
+            if distance is None:
+                distance = 500_000 + (
+                    self.context.observation_distance(gate_name, pos_only=False) or 500_000
+                )
+        else:
+            distance = self.context.observation_distance(gate_name, pos_only=False)
+            if distance is None:
+                distance = 1_000_000
+        return (distance, gate_name)
+
+    def _d_frontier(self, state: TwoFrameState, fault: GateDelayFault) -> List[str]:
+        """Gates with a definite fault value on an input but not on the output."""
+        frontier: List[str] = []
+        for name in self.context.order:
+            output_set = state.signal_sets[name]
+            if not has_fault_value(output_set):
+                continue
+            if is_singleton(output_set):
+                continue
+            input_sets = gate_input_sets(state, self.context, name, fault)
+            if any(
+                is_singleton(value_set) and has_fault_value(value_set)
+                for value_set in input_sets.values()
+            ):
+                frontier.append(name)
+        return frontier
+
+    def _off_path_objective(
+        self, state: TwoFrameState, fault: GateDelayFault, gate_name: str
+    ) -> Optional[Tuple[str, DelayValue]]:
+        gate = self.circuit.gate(gate_name)
+        input_sets = gate_input_sets(state, self.context, gate_name, fault)
+        ordered_sets = [input_sets[pin] for pin in range(len(gate.fanin))]
+        pruned = backward_input_sets(gate.gate_type, ordered_sets, FAULT_MASK, self.robust)
+        for pin, source in enumerate(gate.fanin):
+            current = ordered_sets[pin]
+            if is_singleton(current):
+                continue
+            allowed = pruned[pin] & current
+            if allowed == 0:
+                continue
+            value = self._preferred_value(allowed)
+            if value is not None:
+                return (source, value)
+        return None
+
+    @staticmethod
+    def _preferred_value(allowed: ValueSet) -> Optional[DelayValue]:
+        """Pick a value from a set, preferring clean steady values."""
+        candidates = members(allowed)
+        if not candidates:
+            return None
+        for value in (V1, V0):
+            if value in candidates:
+                return value
+        for value in candidates:
+            if not value.fault:
+                return value
+        return candidates[0]
+
+    def _backtrace(
+        self,
+        objective: Tuple[str, DelayValue],
+        state: TwoFrameState,
+        fault: GateDelayFault,
+        pi_values: Dict[str, Optional[DelayValue]],
+        ppi_initial: Dict[str, Optional[int]],
+    ) -> Tuple[Optional[Tuple[str, str]], Optional[object]]:
+        """Map an objective back to an unassigned decision variable."""
+        signal, desired = objective
+        for _ in range(len(self.circuit.gates) + 1):
+            gate = self.circuit.gate(signal)
+            if gate.is_input:
+                if pi_values[signal] is not None:
+                    return None, None
+                return ("pi", signal), self._clamp_to_pi(desired)
+            if gate.is_dff:
+                if ppi_initial[signal] is not None:
+                    return None, None
+                return ("ppi", signal), desired.initial
+            input_sets = gate_input_sets(state, self.context, signal, fault)
+            ordered_sets = [input_sets[pin] for pin in range(len(gate.fanin))]
+            pruned = backward_input_sets(
+                gate.gate_type, ordered_sets, desired.mask, self.robust
+            )
+            descended = False
+            for pin, source in enumerate(gate.fanin):
+                if is_singleton(ordered_sets[pin]):
+                    continue
+                allowed = pruned[pin] & ordered_sets[pin]
+                if allowed == 0:
+                    continue
+                value = self._preferred_backtrace_value(allowed, desired)
+                if value is None:
+                    continue
+                signal, desired = source, value
+                descended = True
+                break
+            if not descended:
+                return None, None
+        return None, None
+
+    @staticmethod
+    def _preferred_backtrace_value(allowed: ValueSet, desired: DelayValue) -> Optional[DelayValue]:
+        candidates = members(allowed)
+        if not candidates:
+            return None
+        if desired in candidates:
+            return desired
+        # Prefer values that share the desired final value, then steady values.
+        for value in candidates:
+            if value.final == desired.final and not value.fault:
+                return value
+        for value in candidates:
+            if not value.fault:
+                return value
+        return candidates[0]
+
+    @staticmethod
+    def _clamp_to_pi(value: DelayValue) -> DelayValue:
+        if value in PI_VALUES:
+            return value
+        if value is H0:
+            return V0
+        if value is H1:
+            return V1
+        if value is RC:
+            return R
+        return F
+
+    def _fallback_decision(
+        self,
+        pi_values: Dict[str, Optional[DelayValue]],
+        ppi_initial: Dict[str, Optional[int]],
+    ) -> Tuple[Optional[Tuple[str, str]], Optional[object]]:
+        for pi in self.circuit.primary_inputs:
+            if pi_values[pi] is None:
+                return ("pi", pi), V0
+        for ppi in self.circuit.pseudo_primary_inputs:
+            if ppi_initial[ppi] is None:
+                return ("ppi", ppi), 0
+        return None, None
+
+    # ------------------------------------------------------------------ #
+    # assignment bookkeeping
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _assign_value(
+        kind: str,
+        name: str,
+        value: object,
+        pi_values: Dict[str, Optional[DelayValue]],
+        ppi_initial: Dict[str, Optional[int]],
+    ) -> None:
+        if kind == "pi":
+            pi_values[name] = value  # type: ignore[assignment]
+        else:
+            ppi_initial[name] = value  # type: ignore[assignment]
+
+    def _assign(
+        self,
+        decision: _Decision,
+        value: object,
+        pi_values: Dict[str, Optional[DelayValue]],
+        ppi_initial: Dict[str, Optional[int]],
+    ) -> None:
+        self._assign_value(decision.kind, decision.name, value, pi_values, ppi_initial)
+
+    @staticmethod
+    def _unassign(
+        decision: _Decision,
+        pi_values: Dict[str, Optional[DelayValue]],
+        ppi_initial: Dict[str, Optional[int]],
+    ) -> None:
+        if decision.kind == "pi":
+            pi_values[decision.name] = None
+        else:
+            ppi_initial[decision.name] = None
+
+    # ------------------------------------------------------------------ #
+    # result construction
+    # ------------------------------------------------------------------ #
+    def _build_result(
+        self,
+        fault: GateDelayFault,
+        state: TwoFrameState,
+        pi_values: Dict[str, Optional[DelayValue]],
+        ppi_initial: Dict[str, Optional[int]],
+        blocked: Set[str],
+        allow_ppo_observation: bool,
+        backtracks: int,
+        decisions: int,
+    ) -> LocalTest:
+        observation = self._observation_signals(blocked, allow_ppo_observation)
+        observed = [
+            signal
+            for signal in observation
+            if is_singleton(state.signal_sets[signal])
+            and has_fault_value(state.signal_sets[signal])
+        ]
+        po_set = set(self._po_signals)
+        observed_pos = [signal for signal in observed if signal in po_set]
+        observed_ppos = [signal for signal in observed if signal not in po_set]
+
+        ppo_final_values: Dict[str, Optional[int]] = {}
+        ppo_fault_effects: Dict[str, DelayValue] = {}
+        for ppo in self._ppo_signals:
+            value_set = state.signal_sets[ppo]
+            if is_singleton(value_set):
+                value = single_value(value_set)
+                if value.fault:
+                    ppo_fault_effects[ppo] = value
+                    ppo_final_values[ppo] = None
+                elif value.is_hazard_free_steady:
+                    # Only equal, hazard-free initial/final values may be
+                    # specified to SEMILET (paper section 6).
+                    ppo_final_values[ppo] = value.final
+                elif not self.robust:
+                    # Non-robust model: the stabilisation guarantee is waived,
+                    # so transitioning or hazardous PPOs may be specified by
+                    # their settled final value.  This is exactly the
+                    # restriction the paper blames for most sequentially
+                    # untestable faults.
+                    ppo_final_values[ppo] = value.final
+                else:
+                    ppo_final_values[ppo] = None
+            else:
+                ppo_final_values[ppo] = None
+
+        return LocalTest(
+            fault=fault,
+            status=LocalTestStatus.SUCCESS,
+            pi_values=dict(pi_values),
+            ppi_initial={ppi: value for ppi, value in ppi_initial.items() if value is not None},
+            observation_points=observed_pos + observed_ppos,
+            observed_at_po=bool(observed_pos),
+            ppo_final_values=ppo_final_values,
+            ppo_fault_effects=ppo_fault_effects,
+            backtracks=backtracks,
+            decisions=decisions,
+        )

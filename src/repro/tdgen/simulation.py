@@ -1,0 +1,256 @@
+"""Two-frame eight-valued forward implication with fault injection.
+
+Given a (partial) assignment of primary input pairs and initial-frame values
+of the pseudo primary inputs, :func:`simulate_two_frame` computes for every
+signal the set of still-possible algebra values.  The simulation proceeds in
+two passes:
+
+1. a three-valued pass over the *initial* frame (slow clock, fault free) that
+   determines the values the pseudo primary outputs settle to, and therefore
+   the *final*-frame values the state register presents at the pseudo primary
+   inputs during the test frame (the state-register coupling rule of the
+   paper);
+2. an eight-valued set pass over the combinational block with the fault
+   injected at the fault site (``R``/``F`` converted to ``Rc``/``Fc`` at the
+   fault line, and nowhere else).
+
+Because the pass only ever propagates *sets of possible values* forward, a
+singleton set at an observation point means the observation is guaranteed for
+every completion of the unassigned inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.algebra.sets import (
+    EMPTY_SET,
+    ValueSet,
+    contains,
+    evaluate_gate_sets,
+    has_fault_value,
+    is_singleton,
+    members,
+    set_of,
+    single_value,
+)
+from repro.algebra.values import (
+    ALL_VALUES,
+    DelayValue,
+    F,
+    FC,
+    PI_VALUES,
+    R,
+    RC,
+    V0,
+    V1,
+)
+from repro.circuit.gates import evaluate_gate
+from repro.circuit.netlist import Circuit, LineKind
+from repro.faults.model import DelayFaultType, GateDelayFault
+from repro.tdgen.context import TDgenContext
+
+PI_SET_MASK: ValueSet = set_of(*PI_VALUES)
+FAULT_MASK: ValueSet = set_of(RC, FC)
+
+
+@dataclasses.dataclass
+class TwoFrameState:
+    """Result of one forward implication pass.
+
+    Attributes:
+        signal_sets: per-signal set of possible algebra values.  For a fault on
+            a signal *stem* the stored set is the post-injection set (all sinks
+            and observation points see it); for a *branch* fault the stem keeps
+            its fault-free set and only the faulted gate input sees the
+            injected set.
+        frame1: three-valued settled value of every signal in the initial frame.
+        fault_line_set: set of possible values on the fault line itself,
+            after injection.
+        ppi_pair_sets: the source sets used for the pseudo primary inputs.
+    """
+
+    signal_sets: Dict[str, ValueSet]
+    frame1: Dict[str, Optional[int]]
+    fault_line_set: ValueSet
+    ppi_pair_sets: Dict[str, ValueSet]
+
+    def observation_set(self, signal: str) -> ValueSet:
+        """Value set visible at an observation point (PO or PPO signal)."""
+        return self.signal_sets[signal]
+
+    def definite_value(self, signal: str) -> Optional[DelayValue]:
+        """The value of a signal if it is fully determined, else ``None``."""
+        value_set = self.signal_sets[signal]
+        if is_singleton(value_set):
+            return single_value(value_set)
+        return None
+
+    def has_conflict(self) -> bool:
+        """True if any signal has an empty possibility set."""
+        return any(value_set == EMPTY_SET for value_set in self.signal_sets.values())
+
+
+def _inject(value_set: ValueSet, fault_type: DelayFaultType) -> ValueSet:
+    """Convert the activating transition into its fault-carrying variant."""
+    activation = fault_type.activation_value
+    if not contains(value_set, activation):
+        return value_set
+    injected = value_set & ~activation.mask
+    injected |= fault_type.fault_value.mask
+    return injected
+
+
+def _ppi_pair_set(initial: Optional[int], final: Optional[int]) -> ValueSet:
+    """Possible values of a pseudo primary input given its two frame values.
+
+    Flip-flop outputs change only at the clock edge, so they are hazard free
+    and never fault-originating: the candidates are ``0``, ``1``, ``R``, ``F``.
+    """
+    mask = 0
+    for value in PI_VALUES:
+        if initial is not None and value.initial != initial:
+            continue
+        if final is not None and value.final != final:
+            continue
+        mask |= value.mask
+    return mask
+
+
+def simulate_two_frame(
+    context: TDgenContext,
+    pi_values: Mapping[str, Optional[DelayValue]],
+    ppi_initial: Mapping[str, Optional[int]],
+    fault: Optional[GateDelayFault] = None,
+    robust: bool = True,
+) -> TwoFrameState:
+    """Forward implication of the two local time frames.
+
+    Args:
+        context: precomputed circuit data.
+        pi_values: assigned pair value per primary input (``None`` / missing
+            means unassigned).
+        ppi_initial: assigned initial-frame value per pseudo primary input.
+        fault: the targeted gate delay fault; ``None`` simulates the fault-free
+            pair (used by the delay fault simulator for the good machine).
+        robust: use the robust (paper Table 1) or the relaxed non-robust tables.
+    """
+    circuit = context.circuit
+
+    # ---- pass 1: three-valued initial (slow clock) frame ------------------- #
+    frame1: Dict[str, Optional[int]] = {}
+    for pi in circuit.primary_inputs:
+        value = pi_values.get(pi)
+        frame1[pi] = value.initial if value is not None else None
+    for ppi in circuit.pseudo_primary_inputs:
+        frame1[ppi] = ppi_initial.get(ppi)
+    for name in context.order:
+        gate = circuit.gate(name)
+        frame1[name] = evaluate_gate(gate.gate_type, [frame1[s] for s in gate.fanin])
+
+    # ---- source sets -------------------------------------------------------- #
+    signal_sets: Dict[str, ValueSet] = {}
+    ppi_pair_sets: Dict[str, ValueSet] = {}
+    for pi in circuit.primary_inputs:
+        value = pi_values.get(pi)
+        signal_sets[pi] = value.mask if value is not None else PI_SET_MASK
+    for dff in circuit.flip_flops:
+        ppi = dff.name
+        ppo = dff.fanin[0]
+        pair_set = _ppi_pair_set(ppi_initial.get(ppi), frame1[ppo])
+        ppi_pair_sets[ppi] = pair_set
+        signal_sets[ppi] = pair_set
+
+    # ---- fault injection bookkeeping ---------------------------------------- #
+    stem_fault_signal: Optional[str] = None
+    branch_fault_key: Optional[Tuple[str, int]] = None
+    if fault is not None:
+        if fault.line.kind is LineKind.STEM:
+            stem_fault_signal = fault.line.signal
+        else:
+            branch_fault_key = (fault.line.sink, fault.line.pin)
+
+    # Source signals may themselves be the fault stem (a PI or PPI stem fault).
+    if stem_fault_signal is not None and stem_fault_signal in signal_sets:
+        signal_sets[stem_fault_signal] = _inject(signal_sets[stem_fault_signal], fault.fault_type)
+
+    # ---- pass 2: eight-valued set propagation ------------------------------- #
+    for name in context.order:
+        gate = circuit.gate(name)
+        input_sets = []
+        for pin, source in enumerate(gate.fanin):
+            source_set = signal_sets[source]
+            if branch_fault_key is not None and branch_fault_key == (name, pin) and (
+                fault is not None and source == fault.line.signal
+            ):
+                source_set = _inject(source_set, fault.fault_type)
+            input_sets.append(source_set)
+        output_set = evaluate_gate_sets(gate.gate_type, input_sets, robust)
+        if stem_fault_signal == name:
+            output_set = _inject(output_set, fault.fault_type)
+        signal_sets[name] = output_set
+
+    # ---- fault line view ----------------------------------------------------- #
+    if fault is None:
+        fault_line_set = 0
+    elif fault.line.kind is LineKind.STEM:
+        fault_line_set = signal_sets[fault.line.signal]
+    else:
+        fault_line_set = _inject(signal_sets[fault.line.signal], fault.fault_type)
+
+    return TwoFrameState(
+        signal_sets=signal_sets,
+        frame1=frame1,
+        fault_line_set=fault_line_set,
+        ppi_pair_sets=ppi_pair_sets,
+    )
+
+
+def gate_input_sets(
+    state: TwoFrameState,
+    context: TDgenContext,
+    gate_name: str,
+    fault: Optional[GateDelayFault] = None,
+) -> Dict[int, ValueSet]:
+    """The value sets a gate actually sees on its input pins.
+
+    This re-applies the branch-fault injection for the single faulted pin, so
+    the engine's D-frontier and backtrace reason about the same sets the
+    forward pass used.
+    """
+    gate = context.circuit.gate(gate_name)
+    branch_fault_key: Optional[Tuple[str, int]] = None
+    if fault is not None and fault.line.kind is LineKind.BRANCH:
+        branch_fault_key = (fault.line.sink, fault.line.pin)
+    result: Dict[int, ValueSet] = {}
+    for pin, source in enumerate(gate.fanin):
+        source_set = state.signal_sets[source]
+        if branch_fault_key == (gate_name, pin) and fault is not None and source == fault.line.signal:
+            source_set = _inject(source_set, fault.fault_type)
+        result[pin] = source_set
+    return result
+
+
+def good_machine_values(
+    context: TDgenContext,
+    pi_values: Mapping[str, DelayValue],
+    ppi_initial: Mapping[str, int],
+    robust: bool = True,
+) -> Dict[str, DelayValue]:
+    """Fully-specified fault-free two-frame simulation.
+
+    All primary inputs and all pseudo primary input initial values must be
+    assigned; the result maps every signal to its single algebra value.  Used
+    by the delay fault simulator (TDsim) and by the flow's final validation.
+    """
+    state = simulate_two_frame(context, pi_values, ppi_initial, fault=None, robust=robust)
+    values: Dict[str, DelayValue] = {}
+    for signal, value_set in state.signal_sets.items():
+        if not is_singleton(value_set):
+            raise ValueError(
+                f"signal {signal!r} is not fully determined; "
+                "good_machine_values requires a complete assignment"
+            )
+        values[signal] = single_value(value_set)
+    return values

@@ -1,0 +1,12 @@
+"""TDsim — delay fault simulation of the fast clock frame.
+
+Implements the third phase of the paper's fault simulation (section 5):
+critical path tracing (CPT) for delay faults, started at all primary outputs
+and at all pseudo primary outputs that FAUSIM found to be observable at a
+primary output during the propagation phase, plus the invalidation check for
+faults credited through a pseudo primary output.
+"""
+
+from repro.tdsim.cpt import DelayFaultSimulator, SimulatedDetection
+
+__all__ = ["DelayFaultSimulator", "SimulatedDetection"]

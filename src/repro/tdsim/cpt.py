@@ -1,0 +1,244 @@
+"""Critical path tracing (CPT) for robust gate delay faults.
+
+Given a fully specified two-pattern test, the simulator determines every gate
+delay fault that the pattern detects robustly, without targeting them one by
+one:
+
+* within fanout-free regions, criticality is decided locally: an input of a
+  gate lies on a robust critical path if replacing its transition by the
+  fault-carrying variant still yields a fault-carrying gate output (this is a
+  direct application of the algebra's Table 1 rules);
+* at fanout stems, where reconvergence can mask or multiply the effect, the
+  stem is resolved exactly by injecting the stem fault and re-simulating the
+  two frames (the standard stem-analysis refinement of CPT);
+* faults that are observable only through a pseudo primary output are
+  additionally checked for *state invalidation*: the fault effect must not
+  disturb any pseudo primary output whose value the propagation phase relied
+  on (paper section 5, last paragraph).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.algebra.tables import evaluate_delay_gate
+from repro.algebra.values import DelayValue, F, R
+from repro.circuit.netlist import Circuit, Line, LineKind
+from repro.faults.model import DelayFaultType, GateDelayFault
+from repro.tdgen.context import TDgenContext
+from repro.tdgen.simulation import simulate_two_frame
+from repro.algebra.sets import has_fault_value, is_singleton, single_value
+
+
+@dataclasses.dataclass
+class SimulatedDetection:
+    """One fault detected by simulation, with the observation point used."""
+
+    fault: GateDelayFault
+    observation_point: str
+    through_ppo: bool
+
+
+class DelayFaultSimulator:
+    """Robust delay fault simulator for one circuit."""
+
+    def __init__(self, circuit: Circuit, robust: bool = True, context: Optional[TDgenContext] = None) -> None:
+        self.circuit = circuit
+        self.robust = robust
+        self.context = context or TDgenContext(circuit)
+
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self,
+        pi_values: Mapping[str, DelayValue],
+        ppi_initial: Mapping[str, int],
+        observable_ppos: Sequence[str] = (),
+        required_ppo_values: Optional[Mapping[str, int]] = None,
+    ) -> List[SimulatedDetection]:
+        """Return every gate delay fault robustly detected by the pattern.
+
+        Args:
+            pi_values: complete pair value per primary input.
+            ppi_initial: complete initial-frame value per pseudo primary input.
+            observable_ppos: pseudo primary output signals whose captured value
+                reaches a primary output during the propagation phase (FAUSIM
+                result); faults observed there are credited only if they pass
+                the invalidation check.
+            required_ppo_values: PPO values that the propagation phase relied
+                on; a fault credited through a PPO must not disturb them.
+        """
+        required_ppo_values = dict(required_ppo_values or {})
+        good_state = simulate_two_frame(
+            self.context, dict(pi_values), dict(ppi_initial), fault=None, robust=self.robust
+        )
+        values: Dict[str, DelayValue] = {}
+        for signal, value_set in good_state.signal_sets.items():
+            if not is_singleton(value_set):
+                raise ValueError(
+                    "fault simulation needs a fully specified pattern; "
+                    f"signal {signal!r} is not determined"
+                )
+            values[signal] = single_value(value_set)
+
+        po_points = [
+            po for po in self.circuit.primary_outputs if values[po].is_transition
+        ]
+        ppo_points = [
+            ppo
+            for ppo in observable_ppos
+            if ppo in values and values[ppo].is_transition
+        ]
+
+        detections: Dict[GateDelayFault, SimulatedDetection] = {}
+
+        # Phase A: CPT from primary outputs (no invalidation check needed).
+        for po in po_points:
+            for line in self._trace(po, values, dict(pi_values), dict(ppi_initial)):
+                fault = self._fault_for(line, values)
+                if fault is not None and fault not in detections:
+                    detections[fault] = SimulatedDetection(fault, po, through_ppo=False)
+
+        # Phase B: CPT from observable pseudo primary outputs; every candidate
+        # must survive the exact injection + invalidation check.
+        for ppo in ppo_points:
+            for line in self._trace(ppo, values, dict(pi_values), dict(ppi_initial)):
+                fault = self._fault_for(line, values)
+                if fault is None or fault in detections:
+                    continue
+                if self._confirmed_through_ppo(
+                    fault, ppo, dict(pi_values), dict(ppi_initial), required_ppo_values
+                ):
+                    detections[fault] = SimulatedDetection(fault, ppo, through_ppo=True)
+
+        return list(detections.values())
+
+    # ------------------------------------------------------------------ #
+    # critical path tracing
+    # ------------------------------------------------------------------ #
+    def _trace(
+        self,
+        observation_point: str,
+        values: Dict[str, DelayValue],
+        pi_values: Dict[str, DelayValue],
+        ppi_initial: Dict[str, int],
+    ) -> List[Line]:
+        """Collect the critical lines feeding one observation point."""
+        critical: List[Line] = []
+        visited_stems: Set[str] = set()
+        pending: List[str] = [observation_point]
+
+        while pending:
+            signal = pending.pop()
+            if signal in visited_stems:
+                continue
+            visited_stems.add(signal)
+            value = values[signal]
+            if not value.is_transition:
+                continue
+            critical.append(Line(signal))
+
+            gate = self.circuit.gate(signal)
+            if not gate.gate_type.is_combinational:
+                continue
+            input_values = [values[source] for source in gate.fanin]
+            for pin, source in enumerate(gate.fanin):
+                source_value = values[source]
+                if not source_value.is_transition:
+                    continue
+                if not self._locally_critical(gate.gate_type, input_values, pin):
+                    continue
+                fanout = self.circuit.fanout(source)
+                multi = len(fanout) + (1 if self.circuit.is_primary_output(source) else 0) > 1
+                if multi:
+                    # The branch itself is critical; record it and resolve the
+                    # stem exactly by injection.
+                    critical.append(Line(source, LineKind.BRANCH, gate.name, pin))
+                    if source not in visited_stems and self._stem_detected(
+                        source, observation_point, pi_values, ppi_initial
+                    ):
+                        pending.append(source)
+                else:
+                    pending.append(source)
+        return critical
+
+    def _locally_critical(
+        self, gate_type, input_values: List[DelayValue], pin: int
+    ) -> bool:
+        """Would a fault-carrying transition on this pin reach the gate output?"""
+        modified = list(input_values)
+        try:
+            modified[pin] = modified[pin].with_fault()
+        except ValueError:
+            return False
+        output = evaluate_delay_gate(gate_type, modified, self.robust)
+        return output.fault
+
+    def _stem_detected(
+        self,
+        stem: str,
+        observation_point: str,
+        pi_values: Dict[str, DelayValue],
+        ppi_initial: Dict[str, int],
+    ) -> bool:
+        """Exact stem analysis by injection simulation."""
+        state = simulate_two_frame(
+            self.context,
+            pi_values,
+            ppi_initial,
+            fault=GateDelayFault(Line(stem), DelayFaultType.SLOW_TO_RISE),
+            robust=self.robust,
+        )
+        observed = state.signal_sets.get(observation_point, 0)
+        if is_singleton(observed) and has_fault_value(observed):
+            return True
+        state = simulate_two_frame(
+            self.context,
+            pi_values,
+            ppi_initial,
+            fault=GateDelayFault(Line(stem), DelayFaultType.SLOW_TO_FALL),
+            robust=self.robust,
+        )
+        observed = state.signal_sets.get(observation_point, 0)
+        return is_singleton(observed) and has_fault_value(observed)
+
+    @staticmethod
+    def _fault_for(line: Line, values: Dict[str, DelayValue]) -> Optional[GateDelayFault]:
+        """The delay fault provoked by the transition on a critical line."""
+        value = values[line.signal]
+        if value is R or (value.is_transition and value.is_rising):
+            return GateDelayFault(line, DelayFaultType.SLOW_TO_RISE)
+        if value is F or (value.is_transition and value.is_falling):
+            return GateDelayFault(line, DelayFaultType.SLOW_TO_FALL)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # exact confirmation for PPO-observed faults
+    # ------------------------------------------------------------------ #
+    def _confirmed_through_ppo(
+        self,
+        fault: GateDelayFault,
+        ppo: str,
+        pi_values: Dict[str, DelayValue],
+        ppi_initial: Dict[str, int],
+        required_ppo_values: Dict[str, int],
+    ) -> bool:
+        """Exact injection check: observed at the PPO and no state invalidation."""
+        state = simulate_two_frame(
+            self.context, pi_values, ppi_initial, fault=fault, robust=self.robust
+        )
+        observed = state.signal_sets.get(ppo, 0)
+        if not (is_singleton(observed) and has_fault_value(observed)):
+            return False
+        # Invalidation check: the fault must not disturb any PPO value the
+        # propagation phase depends on.
+        for other_ppo, required in required_ppo_values.items():
+            if other_ppo == ppo:
+                continue
+            value_set = state.signal_sets.get(other_ppo, 0)
+            if not is_singleton(value_set):
+                return False
+            value = single_value(value_set)
+            if value.fault or value.final != required:
+                return False
+        return True

@@ -1,0 +1,135 @@
+"""Paper Table 1: the AND gate truth table of the eight-valued algebra.
+
+The rows reproduced literally in the paper (the Rc and Fc rows, which carry
+the robustness rules) are checked cell by cell; the remaining rows are
+checked against the frame/hazard semantics.
+"""
+
+import pytest
+
+from repro.algebra.tables import and2, paper_table1_and
+from repro.algebra.values import ALL_VALUES, F, FC, H0, H1, R, RC, V0, V1
+
+
+def test_clean_zero_dominates():
+    for value in ALL_VALUES:
+        assert and2(V0, value) is V0
+        assert and2(value, V0) is V0
+
+
+def test_clean_one_is_identity():
+    for value in ALL_VALUES:
+        assert and2(V1, value) is value
+        assert and2(value, V1) is value
+
+
+def test_commutativity():
+    for a in ALL_VALUES:
+        for b in ALL_VALUES:
+            assert and2(a, b) is and2(b, a)
+
+
+# --- the Rc row of Table 1 --------------------------------------------------- #
+@pytest.mark.parametrize(
+    "off_path,expected",
+    [
+        (V0, V0),
+        (V1, RC),
+        (R, RC),
+        (F, H0),
+        (H0, H0),
+        (H1, RC),
+        (RC, RC),
+        (FC, H0),
+    ],
+)
+def test_table1_rc_row(off_path, expected):
+    assert and2(RC, off_path) is expected
+
+
+# --- the Fc row of Table 1 --------------------------------------------------- #
+@pytest.mark.parametrize(
+    "off_path,expected",
+    [
+        (V0, V0),
+        (V1, FC),
+        (R, H0),
+        (F, F),
+        (H0, H0),
+        (H1, F),
+        (RC, H0),
+        (FC, FC),
+    ],
+)
+def test_table1_fc_row(off_path, expected):
+    assert and2(FC, off_path) is expected
+
+
+def test_rc_propagates_with_any_final_one_off_path():
+    """Paper: "Rc propagates ... with any value on the off path input that is 1
+    in it's final value"."""
+    for off_path in ALL_VALUES:
+        result = and2(RC, off_path)
+        if off_path.final == 1:
+            assert result is RC
+        else:
+            assert not result.fault
+
+
+def test_fc_propagates_only_with_steady_one_or_fc():
+    """Paper: "Fc propagates only with a steady one or Fc on the off path"."""
+    for off_path in ALL_VALUES:
+        result = and2(FC, off_path)
+        if off_path is V1 or off_path is FC:
+            assert result is FC
+        else:
+            assert not result.fault
+
+
+def test_no_fault_value_emerges_without_fault_input():
+    """Rc/Fc never appear at a gate output unless present at an input."""
+    for a in ALL_VALUES:
+        for b in ALL_VALUES:
+            if not a.fault and not b.fault:
+                assert not and2(a, b).fault
+
+
+def test_transition_combinations():
+    assert and2(R, R) is R
+    assert and2(F, F) is F
+    assert and2(R, F) is H0
+    assert and2(R, H1) is R
+    assert and2(F, H1) is F
+
+
+def test_hazard_combinations():
+    assert and2(H1, H1) is H1
+    assert and2(H1, V1) is H1
+    assert and2(H0, V1) is H0
+    assert and2(H0, H1) is H0
+    assert and2(H0, R) is H0
+
+
+def test_frame_semantics_hold_for_every_cell():
+    """The output's per-frame values are always the AND of the input frames."""
+    for a in ALL_VALUES:
+        for b in ALL_VALUES:
+            result = and2(a, b)
+            assert result.initial == (a.initial & b.initial)
+            assert result.final == (a.final & b.final)
+
+
+def test_paper_table1_export_is_complete():
+    table = paper_table1_and()
+    assert len(table) == 64
+    assert table[("Rc", "1h")] == "Rc"
+    assert table[("Fc", "1h")] == "F"
+
+
+def test_non_robust_relaxation():
+    """The non-robust variant lets Fc pass any final-one off-path value."""
+    assert and2(FC, H1, robust=False) is FC
+    assert and2(FC, FC, robust=False) is FC
+    assert and2(FC, R, robust=False) is H0  # output is not even a transition
+    # The robust table is unchanged for Rc.
+    assert and2(RC, H1, robust=False) is RC

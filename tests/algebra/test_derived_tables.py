@@ -1,0 +1,126 @@
+"""Derived gate tables (OR, NAND, NOR, XOR, XNOR, BUF) built by De Morgan."""
+
+import pytest
+
+from repro.algebra.tables import (
+    and2,
+    evaluate_delay_gate,
+    format_truth_table,
+    not1,
+    or2,
+    table_for_gate,
+    xor2,
+)
+from repro.algebra.values import ALL_VALUES, F, FC, H0, H1, R, RC, V0, V1
+from repro.circuit.gates import GateType
+
+
+def test_or_by_de_morgan():
+    for a in ALL_VALUES:
+        for b in ALL_VALUES:
+            assert or2(a, b) is not1(and2(not1(a), not1(b)))
+
+
+def test_or_identity_and_domination():
+    for value in ALL_VALUES:
+        assert or2(V0, value) is value
+        assert or2(V1, value) is V1
+
+
+def test_or_robust_fault_propagation_is_dual_of_and():
+    # Rc through OR needs a clean steady zero (or Rc) off path.
+    assert or2(RC, V0) is RC
+    assert or2(RC, RC) is RC
+    assert or2(RC, H0) is R
+    assert or2(RC, F) is H1
+    # Fc through OR propagates with any final-zero off path value.
+    assert or2(FC, V0) is FC
+    assert or2(FC, H0) is FC
+    assert or2(FC, F) is FC
+    assert or2(FC, R) is H1
+
+
+def test_nand_nor_are_inversions():
+    for a in ALL_VALUES:
+        for b in ALL_VALUES:
+            assert evaluate_delay_gate(GateType.NAND, (a, b)) is not1(and2(a, b))
+            assert evaluate_delay_gate(GateType.NOR, (a, b)) is not1(or2(a, b))
+
+
+def test_buf_is_identity():
+    for value in ALL_VALUES:
+        assert evaluate_delay_gate(GateType.BUF, (value,)) is value
+
+
+def test_xor_basic_cases():
+    assert xor2(V0, V0) is V0
+    assert xor2(V1, V1) is V0
+    assert xor2(V0, V1) is V1
+    assert xor2(R, V0) is R
+    assert xor2(R, V1) is F
+    assert xor2(RC, V0) is RC
+    assert xor2(RC, V1) is FC
+
+
+def test_xor_with_two_transitions_is_hazardous():
+    assert xor2(R, R) in (H0, H1, V0)
+    assert xor2(R, R).is_steady
+    assert xor2(R, F).is_steady
+
+
+def test_xnor_is_inverted_xor():
+    for a in ALL_VALUES:
+        for b in ALL_VALUES:
+            assert evaluate_delay_gate(GateType.XNOR, (a, b)) is not1(xor2(a, b))
+
+
+def test_multi_input_gates_fold_associatively():
+    for gate_type in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR):
+        for a in (V0, V1, R, H1):
+            for b in (F, RC, H0):
+                for c in (V1, FC, R):
+                    left = evaluate_delay_gate(gate_type, (a, b, c))
+                    # Folding in a different order must give the same result for
+                    # the non-inverting core.
+                    if gate_type in (GateType.AND, GateType.OR):
+                        pairwise = and2 if gate_type is GateType.AND else or2
+                        assert left is pairwise(pairwise(a, b), c)
+                        assert left is pairwise(a, pairwise(b, c))
+
+
+def test_frame_semantics_for_all_two_input_gates():
+    import operator
+
+    frame_ops = {
+        GateType.AND: operator.and_,
+        GateType.OR: operator.or_,
+        GateType.XOR: operator.xor,
+    }
+    for gate_type, op in frame_ops.items():
+        for a in ALL_VALUES:
+            for b in ALL_VALUES:
+                result = evaluate_delay_gate(gate_type, (a, b))
+                assert result.initial == op(a.initial, b.initial)
+                assert result.final == op(a.final, b.final)
+
+
+def test_single_input_gate_arity_enforced():
+    with pytest.raises(ValueError):
+        evaluate_delay_gate(GateType.NOT, (V0, V1))
+    with pytest.raises(ValueError):
+        evaluate_delay_gate(GateType.BUF, (V0, V1))
+    with pytest.raises(ValueError):
+        evaluate_delay_gate(GateType.AND, ())
+
+
+def test_table_for_gate_rejects_single_input_types():
+    with pytest.raises(ValueError):
+        table_for_gate(GateType.NOT)
+
+
+def test_format_truth_table_contains_all_values():
+    rendered = format_truth_table(GateType.AND)
+    for value in ALL_VALUES:
+        assert value.name in rendered
+    rendered_not = format_truth_table(GateType.NOT)
+    assert "Fc" in rendered_not

@@ -1,0 +1,51 @@
+"""Paper Table 2: the inverter truth table."""
+
+import pytest
+
+from repro.algebra.tables import not1, paper_table2_inverter
+from repro.algebra.values import ALL_VALUES, F, FC, H0, H1, R, RC, V0, V1
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (V0, V1),
+        (V1, V0),
+        (R, F),
+        (F, R),
+        (H0, H1),
+        (H1, H0),
+        (RC, FC),
+        (FC, RC),
+    ],
+)
+def test_table2_inverter(value, expected):
+    assert not1(value) is expected
+
+
+def test_involution():
+    for value in ALL_VALUES:
+        assert not1(not1(value)) is value
+
+
+def test_inverter_preserves_hazard_and_fault_attributes():
+    for value in ALL_VALUES:
+        inverted = not1(value)
+        assert inverted.hazard == value.hazard
+        assert inverted.fault == value.fault
+        assert inverted.initial == 1 - value.initial
+        assert inverted.final == 1 - value.final
+
+
+def test_paper_table2_export():
+    table = paper_table2_inverter()
+    assert table == {
+        "0": "1",
+        "1": "0",
+        "R": "F",
+        "F": "R",
+        "0h": "1h",
+        "1h": "0h",
+        "Rc": "Fc",
+        "Fc": "Rc",
+    }

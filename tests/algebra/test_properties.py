@@ -1,0 +1,99 @@
+"""Property-based tests of the eight-valued algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.tables import and2, evaluate_delay_gate, not1, or2
+from repro.algebra.values import ALL_VALUES, FAULT_VALUES, V0, V1
+from repro.circuit.gates import GateType
+
+values = st.sampled_from(ALL_VALUES)
+value_lists = st.lists(values, min_size=2, max_size=5)
+robust_flags = st.booleans()
+
+
+@given(a=values, b=values, robust=robust_flags)
+def test_and_commutative(a, b, robust):
+    assert and2(a, b, robust) is and2(b, a, robust)
+
+
+@given(a=values, b=values, c=values, robust=robust_flags)
+def test_and_associative(a, b, c, robust):
+    assert and2(and2(a, b, robust), c, robust) is and2(a, and2(b, c, robust), robust)
+
+
+@given(a=values, b=values, c=values, robust=robust_flags)
+def test_or_associative(a, b, c, robust):
+    assert or2(or2(a, b, robust), c, robust) is or2(a, or2(b, c, robust), robust)
+
+
+@given(a=values, b=values, robust=robust_flags)
+def test_de_morgan(a, b, robust):
+    assert not1(and2(a, b, robust)) is evaluate_delay_gate(GateType.NAND, (a, b), robust)
+    assert or2(a, b, robust) is not1(and2(not1(a), not1(b), robust))
+
+
+@given(a=values, b=values, robust=robust_flags)
+def test_frame_projection_is_boolean_and(a, b, robust):
+    """The two-frame projection of every cell matches plain Boolean AND."""
+    result = and2(a, b, robust)
+    assert result.initial == (a.initial & b.initial)
+    assert result.final == (a.final & b.final)
+
+
+@given(a=values, b=values, robust=robust_flags)
+def test_fault_never_created(a, b, robust):
+    """A fault-carrying output requires a fault-carrying input."""
+    if not a.fault and not b.fault:
+        assert not and2(a, b, robust).fault
+        assert not or2(a, b, robust).fault
+
+
+@given(a=values, b=values)
+def test_robust_is_stricter_than_non_robust(a, b):
+    """Whenever the robust table keeps the fault effect, so does the relaxed one."""
+    robust_result = and2(a, b, robust=True)
+    relaxed_result = and2(a, b, robust=False)
+    if robust_result.fault:
+        assert relaxed_result.fault
+    # And both always agree on the frame values.
+    assert robust_result.initial == relaxed_result.initial
+    assert robust_result.final == relaxed_result.final
+
+
+@given(a=values)
+def test_idempotence_of_and_or(a):
+    """x AND x / x OR x keep the waveform (fault and hazard attributes intact)."""
+    assert and2(a, a).initial == a.initial
+    assert and2(a, a).final == a.final
+    assert or2(a, a).initial == a.initial
+    assert or2(a, a).final == a.final
+
+
+@given(a=values)
+def test_identity_elements(a):
+    assert and2(a, V1) is a
+    assert or2(a, V0) is a
+    assert and2(a, V0) is V0
+    assert or2(a, V1) is V1
+
+
+@given(inputs=value_lists, robust=robust_flags)
+@settings(max_examples=200)
+def test_nary_gates_match_pairwise_fold(inputs, robust):
+    for gate_type, pairwise in ((GateType.AND, and2), (GateType.OR, or2)):
+        expected = inputs[0]
+        for value in inputs[1:]:
+            expected = pairwise(expected, value, robust)
+        assert evaluate_delay_gate(gate_type, inputs, robust) is expected
+
+
+@given(inputs=value_lists, robust=robust_flags)
+@settings(max_examples=200)
+def test_inverting_gates_are_complements(inputs, robust):
+    assert evaluate_delay_gate(GateType.NAND, inputs, robust) is not1(
+        evaluate_delay_gate(GateType.AND, inputs, robust)
+    )
+    assert evaluate_delay_gate(GateType.NOR, inputs, robust) is not1(
+        evaluate_delay_gate(GateType.OR, inputs, robust)
+    )

@@ -1,0 +1,130 @@
+"""Tests of the value-set (bit mask) layer used by the implication engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.sets import (
+    EMPTY_SET,
+    FULL_SET,
+    PI_SET,
+    backward_input_sets,
+    contains,
+    evaluate_gate_sets,
+    format_set,
+    has_fault_value,
+    is_singleton,
+    members,
+    only_fault_values,
+    set_of,
+    single_value,
+)
+from repro.algebra.tables import evaluate_delay_gate
+from repro.algebra.values import ALL_VALUES, F, FC, H1, R, RC, V0, V1
+from repro.circuit.gates import GateType
+
+value_sets = st.integers(min_value=0, max_value=FULL_SET)
+gate_types = st.sampled_from(
+    [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR, GateType.XOR, GateType.XNOR]
+)
+
+
+def test_set_of_and_members_roundtrip():
+    mask = set_of(V0, RC, H1)
+    assert members(mask) == [V0, H1, RC]
+    assert contains(mask, RC)
+    assert not contains(mask, F)
+
+
+def test_singleton_helpers():
+    assert is_singleton(set_of(R))
+    assert single_value(set_of(R)) is R
+    assert not is_singleton(EMPTY_SET)
+    assert not is_singleton(set_of(R, F))
+    with pytest.raises(ValueError):
+        single_value(set_of(R, F))
+
+
+def test_fault_value_helpers():
+    assert has_fault_value(set_of(RC, V0))
+    assert not has_fault_value(set_of(R, F))
+    assert only_fault_values(set_of(RC))
+    assert only_fault_values(set_of(RC, FC))
+    assert not only_fault_values(set_of(RC, R))
+    assert not only_fault_values(EMPTY_SET)
+
+
+def test_pi_set_contains_only_clean_pi_values():
+    assert members(PI_SET) == [V0, V1, R, F]
+
+
+def test_forward_evaluation_matches_scalar_enumeration():
+    left = set_of(V0, R)
+    right = set_of(V1, FC)
+    result = evaluate_gate_sets(GateType.AND, [left, right])
+    expected = 0
+    for a in members(left):
+        for b in members(right):
+            expected |= evaluate_delay_gate(GateType.AND, (a, b)).mask
+    assert result == expected
+
+
+def test_forward_evaluation_with_empty_input_is_empty():
+    assert evaluate_gate_sets(GateType.AND, [EMPTY_SET, FULL_SET]) == EMPTY_SET
+
+
+def test_forward_evaluation_single_input_gates():
+    assert evaluate_gate_sets(GateType.NOT, [set_of(R, V0)]) == set_of(F, V1)
+    assert evaluate_gate_sets(GateType.BUF, [set_of(R, V0)]) == set_of(R, V0)
+
+
+@given(left=value_sets, right=value_sets, gate_type=gate_types)
+def test_forward_evaluation_is_exact_image(left, right, gate_type):
+    result = evaluate_gate_sets(gate_type, [left, right])
+    expected = 0
+    for a in members(left):
+        for b in members(right):
+            expected |= evaluate_delay_gate(gate_type, (a, b)).mask
+    assert result == expected
+
+
+def test_backward_input_sets_prunes_impossible_values():
+    # AND output must be a clean steady one: both inputs must be clean ones.
+    pruned = backward_input_sets(GateType.AND, [FULL_SET, FULL_SET], set_of(V1))
+    assert pruned[0] == set_of(V1)
+    assert pruned[1] == set_of(V1)
+
+
+def test_backward_input_sets_for_fault_output():
+    pruned = backward_input_sets(GateType.AND, [set_of(RC), FULL_SET], set_of(RC))
+    # The off-path input must have a final value of one.
+    assert pruned[1] == set_of(V1, H1, R, RC)
+
+
+def test_backward_input_sets_is_sound():
+    """Every removed value really cannot contribute to the output set."""
+    input_sets = [set_of(R, F, V0), set_of(V1, H1)]
+    output_set = set_of(R)
+    pruned = backward_input_sets(GateType.AND, input_sets, output_set)
+    for position in range(2):
+        removed = input_sets[position] & ~pruned[position]
+        for value in members(removed):
+            other = members(input_sets[1 - position])
+            for partner in other:
+                pair = (value, partner) if position == 0 else (partner, value)
+                assert not contains(output_set, evaluate_delay_gate(GateType.AND, pair))
+
+
+def test_backward_input_sets_wide_gate_falls_back_unchanged():
+    sets = [FULL_SET] * 5
+    assert backward_input_sets(GateType.AND, sets, set_of(V1)) == sets
+
+
+def test_backward_single_input_gate():
+    pruned = backward_input_sets(GateType.NOT, [FULL_SET], set_of(F))
+    assert pruned[0] == set_of(R)
+
+
+def test_format_set():
+    assert format_set(set_of(R, RC)) == "{R, Rc}"
+    assert format_set(EMPTY_SET) == "{}"

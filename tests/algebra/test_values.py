@@ -1,0 +1,120 @@
+"""Tests of the eight algebra values and their semantic attributes."""
+
+import pytest
+
+from repro.algebra.values import (
+    ALL_VALUES,
+    F,
+    FC,
+    H0,
+    H1,
+    PI_VALUES,
+    R,
+    RC,
+    V0,
+    V1,
+    pi_value,
+    value_from_name,
+    value_from_pair,
+)
+
+
+def test_eight_distinct_values():
+    assert len(ALL_VALUES) == 8
+    assert len({value.index for value in ALL_VALUES}) == 8
+    assert len({value.name for value in ALL_VALUES}) == 8
+
+
+def test_frame_semantics_of_each_value():
+    assert (V0.initial, V0.final) == (0, 0)
+    assert (V1.initial, V1.final) == (1, 1)
+    assert (R.initial, R.final) == (0, 1)
+    assert (F.initial, F.final) == (1, 0)
+    assert (H0.initial, H0.final) == (0, 0)
+    assert (H1.initial, H1.final) == (1, 1)
+    assert (RC.initial, RC.final) == (0, 1)
+    assert (FC.initial, FC.final) == (1, 0)
+
+
+def test_hazard_flags():
+    assert not V0.hazard and not V1.hazard
+    assert H0.hazard and H1.hazard
+    assert not R.hazard and not F.hazard
+
+
+def test_fault_flags():
+    assert RC.fault and FC.fault
+    assert not any(value.fault for value in (V0, V1, R, F, H0, H1))
+
+
+def test_transition_classification():
+    assert R.is_transition and F.is_transition and RC.is_transition and FC.is_transition
+    assert R.is_rising and RC.is_rising
+    assert F.is_falling and FC.is_falling
+    assert V0.is_steady and H1.is_steady
+
+
+def test_hazard_free_steady():
+    assert V0.is_hazard_free_steady and V1.is_hazard_free_steady
+    assert not H0.is_hazard_free_steady and not H1.is_hazard_free_steady
+    assert not R.is_hazard_free_steady
+
+
+def test_with_fault_and_strip_fault_roundtrip():
+    assert R.with_fault() is RC
+    assert F.with_fault() is FC
+    assert RC.strip_fault() is R
+    assert FC.strip_fault() is F
+    assert V0.strip_fault() is V0
+    assert RC.with_fault() is RC
+
+
+def test_with_fault_rejects_steady_values():
+    with pytest.raises(ValueError):
+        V1.with_fault()
+    with pytest.raises(ValueError):
+        H0.with_fault()
+
+
+def test_masks_are_disjoint_bits():
+    masks = [value.mask for value in ALL_VALUES]
+    assert sum(masks) == (1 << 8) - 1
+
+
+def test_value_from_pair():
+    assert value_from_pair(0, 0) is V0
+    assert value_from_pair(1, 1) is V1
+    assert value_from_pair(0, 1) is R
+    assert value_from_pair(1, 0) is F
+    assert value_from_pair(0, 0, hazard=True) is H0
+    assert value_from_pair(1, 1, hazard=True) is H1
+
+
+def test_value_from_pair_rejects_unknown():
+    with pytest.raises(ValueError):
+        value_from_pair(None, 1)
+    with pytest.raises(ValueError):
+        value_from_pair(0, 2)
+
+
+def test_pi_value_is_always_hazard_free():
+    for initial in (0, 1):
+        for final in (0, 1):
+            value = pi_value(initial, final)
+            assert value in PI_VALUES
+            assert not value.hazard
+            assert not value.fault
+
+
+def test_value_from_name():
+    assert value_from_name("0") is V0
+    assert value_from_name("Rc") is RC
+    assert value_from_name("1h") is H1
+    assert value_from_name("0H") is H0
+    with pytest.raises(KeyError):
+        value_from_name("D")
+
+
+def test_str_and_repr():
+    assert str(RC) == "Rc"
+    assert repr(H0) == "<0h>"

@@ -1,0 +1,101 @@
+"""ISCAS'89 .bench parser and writer."""
+
+import pytest
+
+from repro.circuit.bench import BenchParseError, parse_bench, parse_bench_file, write_bench
+from repro.circuit.gates import GateType
+
+
+def test_parse_s27(s27):
+    assert s27.name == "s27"
+    assert len(s27.flip_flops) == 3
+    assert s27.gate("G8").gate_type is GateType.AND
+    assert s27.gate("G8").fanin == ["G14", "G6"]
+    assert s27.gate("G17").gate_type is GateType.NOT
+
+
+def test_parse_accepts_aliases_and_comments():
+    circuit = parse_bench(
+        """
+        # a tiny circuit
+        INPUT(a)   # the only input
+        OUTPUT(y)
+        n1 = BUFF(a)
+        y = INV(n1)
+        """
+    )
+    assert circuit.gate("n1").gate_type is GateType.BUF
+    assert circuit.gate("y").gate_type is GateType.NOT
+
+
+def test_parse_is_case_insensitive_for_keywords():
+    circuit = parse_bench("input(a)\noutput(y)\ny = not(a)\n")
+    assert circuit.primary_inputs == ["a"]
+    assert circuit.primary_outputs == ["y"]
+
+
+def test_parse_rejects_unknown_gate():
+    with pytest.raises(BenchParseError):
+        parse_bench("INPUT(a)\ny = FOO(a)\nOUTPUT(y)")
+
+
+def test_parse_rejects_duplicate_definition():
+    with pytest.raises(BenchParseError):
+        parse_bench("INPUT(a)\nINPUT(a)\n")
+    with pytest.raises(BenchParseError):
+        parse_bench("INPUT(a)\nn = NOT(a)\nn = NOT(a)\n")
+
+
+def test_parse_rejects_undefined_reference():
+    with pytest.raises(BenchParseError):
+        parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+
+def test_parse_rejects_undriven_output():
+    with pytest.raises(BenchParseError):
+        parse_bench("INPUT(a)\nOUTPUT(nowhere)\n")
+
+
+def test_parse_rejects_gate_without_inputs():
+    with pytest.raises(BenchParseError):
+        parse_bench("INPUT(a)\ny = AND()\nOUTPUT(y)")
+
+
+def test_parse_rejects_multi_input_dff():
+    with pytest.raises(BenchParseError):
+        parse_bench("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\nOUTPUT(q)")
+
+
+def test_parse_rejects_garbage_line():
+    with pytest.raises(BenchParseError) as excinfo:
+        parse_bench("INPUT(a)\nthis is not bench\n")
+    assert "line 2" in str(excinfo.value)
+
+
+def test_roundtrip_through_writer(s27):
+    text = write_bench(s27)
+    reparsed = parse_bench(text, name="s27")
+    assert reparsed.stats() == s27.stats()
+    assert reparsed.primary_inputs == s27.primary_inputs
+    assert reparsed.primary_outputs == s27.primary_outputs
+    for name, gate in s27.gates.items():
+        assert reparsed.gate(name).gate_type is gate.gate_type
+        assert reparsed.gate(name).fanin == gate.fanin
+
+
+def test_writer_uses_buff_alias():
+    circuit = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n")
+    assert "BUFF(a)" in write_bench(circuit)
+
+
+def test_parse_bench_file(tmp_path, s27_text):
+    path = tmp_path / "s27.bench"
+    path.write_text(s27_text)
+    circuit = parse_bench_file(path)
+    assert circuit.name == "s27"
+    assert len(circuit.flip_flops) == 3
+
+
+def test_parse_from_iterable_of_lines(s27_text):
+    circuit = parse_bench(s27_text.splitlines(), name="s27")
+    assert len(circuit.flip_flops) == 3

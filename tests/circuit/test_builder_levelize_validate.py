@@ -1,0 +1,159 @@
+"""CircuitBuilder, levelisation and structural validation."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.levelize import (
+    CombinationalLoopError,
+    combinational_order,
+    levelize,
+    max_level,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.validate import CircuitValidationError, validate_circuit
+
+
+# --------------------------------------------------------------------------- #
+# builder
+# --------------------------------------------------------------------------- #
+def test_builder_fluent_construction():
+    builder = CircuitBuilder("demo")
+    builder.inputs(["a", "b"])
+    builder.nand("n1", ["a", "b"])
+    builder.nor("n2", ["a", "n1"])
+    builder.xor("n3", ["n1", "n2"])
+    builder.xnor("n4", ["n3", "a"])
+    builder.buf("n5", "n4")
+    builder.not_("n6", "n5")
+    builder.or_("n7", ["n6", "b"])
+    builder.and_("y", ["n7", "n1"])
+    builder.output("y")
+    circuit = builder.build()
+    assert circuit.gate("n1").gate_type is GateType.NAND
+    assert circuit.gate("n4").gate_type is GateType.XNOR
+    assert circuit.primary_outputs == ["y"]
+
+
+def test_builder_dff_data_defined_later():
+    builder = CircuitBuilder("ff")
+    builder.input("en")
+    builder.dff("q", "next_q")
+    builder.xor("next_q", ["en", "q"])
+    builder.output("q")
+    circuit = builder.build()
+    assert circuit.gate("q").gate_type is GateType.DFF
+    assert circuit.pseudo_primary_outputs == ["next_q"]
+
+
+def test_builder_validation_failure_propagates():
+    builder = CircuitBuilder("broken")
+    builder.input("a")
+    builder.and_("y", ["a", "ghost"])
+    builder.output("y")
+    with pytest.raises(CircuitValidationError):
+        builder.build()
+    # validation can be skipped explicitly
+    builder2 = CircuitBuilder("broken2")
+    builder2.input("a")
+    builder2.and_("y", ["a", "ghost"])
+    builder2.output("y")
+    circuit = builder2.build(validate=False)
+    assert "y" in circuit
+
+
+# --------------------------------------------------------------------------- #
+# levelisation
+# --------------------------------------------------------------------------- #
+def test_levelize_s27(s27):
+    levels = levelize(s27)
+    assert levels["G0"] == 0
+    assert levels["G5"] == 0  # PPIs are sources
+    assert levels["G14"] == 1
+    assert levels["G8"] == 2
+    assert levels["G8"] < levels["G16"]
+    assert max_level(s27) >= 4
+
+
+def test_combinational_order_respects_dependencies(s27):
+    order = combinational_order(s27)
+    assert len(order) == 10
+    position = {name: index for index, name in enumerate(order)}
+    for name in order:
+        gate = s27.gate(name)
+        for source in gate.fanin:
+            if source in position:
+                assert position[source] < position[name]
+
+
+def test_combinational_loop_detection():
+    circuit = Circuit("loop")
+    circuit.add_input("a")
+    circuit.add_gate("x", GateType.AND, ["a", "y"])
+    circuit.add_gate("y", GateType.AND, ["a", "x"])
+    circuit.add_output("y")
+    with pytest.raises(CombinationalLoopError):
+        combinational_order(circuit)
+
+
+def test_feedback_through_dff_is_not_a_loop(toggle_ff):
+    order = combinational_order(toggle_ff)
+    assert "next_q" in order
+
+
+# --------------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------------- #
+def test_validate_accepts_s27(s27):
+    validate_circuit(s27)
+
+
+def test_validate_reports_undefined_signal():
+    circuit = Circuit("bad")
+    circuit.add_input("a")
+    circuit.add_gate("y", GateType.AND, ["a", "ghost"])
+    circuit.add_output("y")
+    with pytest.raises(CircuitValidationError) as excinfo:
+        validate_circuit(circuit)
+    assert any("ghost" in problem for problem in excinfo.value.problems)
+
+
+def test_validate_reports_bad_arity():
+    circuit = Circuit("bad_arity")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    circuit.add_gate("y", GateType.NOT, ["a", "b"])
+    circuit.add_output("y")
+    with pytest.raises(CircuitValidationError) as excinfo:
+        validate_circuit(circuit)
+    assert any("exactly one input" in problem for problem in excinfo.value.problems)
+
+
+def test_validate_reports_undriven_output():
+    circuit = Circuit("bad_po")
+    circuit.add_input("a")
+    circuit.primary_outputs.append("nothing")
+    with pytest.raises(CircuitValidationError):
+        validate_circuit(circuit)
+
+
+def test_validate_reports_combinational_loop():
+    circuit = Circuit("loop")
+    circuit.add_input("a")
+    circuit.add_gate("x", GateType.OR, ["a", "y"])
+    circuit.add_gate("y", GateType.AND, ["x", "a"])
+    circuit.add_output("y")
+    with pytest.raises(CircuitValidationError) as excinfo:
+        validate_circuit(circuit)
+    assert any("loop" in problem for problem in excinfo.value.problems)
+
+
+def test_validation_error_lists_multiple_problems():
+    circuit = Circuit("multi")
+    circuit.add_input("a")
+    circuit.add_gate("x", GateType.NOT, ["a", "a"])
+    circuit.add_gate("y", GateType.AND, ["ghost", "x"])
+    circuit.add_output("zzz")
+    with pytest.raises(CircuitValidationError) as excinfo:
+        validate_circuit(circuit)
+    assert len(excinfo.value.problems) >= 3

@@ -1,0 +1,95 @@
+"""Three-valued gate evaluation and gate-type helpers."""
+
+import pytest
+
+from repro.circuit.gates import (
+    GateType,
+    controlling_value,
+    evaluate_gate,
+    gate_type_from_name,
+    inversion_parity,
+    non_controlling_value,
+)
+
+
+def test_gate_type_from_name_accepts_aliases():
+    assert gate_type_from_name("BUFF") is GateType.BUF
+    assert gate_type_from_name("buff") is GateType.BUF
+    assert gate_type_from_name("INV") is GateType.NOT
+    assert gate_type_from_name("nand") is GateType.NAND
+    assert gate_type_from_name("dff") is GateType.DFF
+    with pytest.raises(ValueError):
+        gate_type_from_name("MAJORITY")
+
+
+def test_sequential_and_combinational_classification():
+    assert GateType.DFF.is_sequential
+    assert not GateType.DFF.is_combinational
+    assert GateType.NAND.is_combinational
+    assert not GateType.INPUT.is_combinational
+
+
+def test_controlling_values():
+    assert controlling_value(GateType.AND) == 0
+    assert controlling_value(GateType.NAND) == 0
+    assert controlling_value(GateType.OR) == 1
+    assert controlling_value(GateType.NOR) == 1
+    assert controlling_value(GateType.XOR) is None
+    assert non_controlling_value(GateType.AND) == 1
+    assert non_controlling_value(GateType.NOR) == 0
+    assert non_controlling_value(GateType.NOT) is None
+
+
+def test_inversion_parity():
+    assert inversion_parity(GateType.NAND) == 1
+    assert inversion_parity(GateType.NOR) == 1
+    assert inversion_parity(GateType.NOT) == 1
+    assert inversion_parity(GateType.XNOR) == 1
+    assert inversion_parity(GateType.AND) == 0
+    assert inversion_parity(GateType.BUF) == 0
+
+
+@pytest.mark.parametrize(
+    "gate_type,inputs,expected",
+    [
+        (GateType.AND, (1, 1, 1), 1),
+        (GateType.AND, (1, 0, None), 0),
+        (GateType.AND, (1, None), None),
+        (GateType.NAND, (1, 1), 0),
+        (GateType.NAND, (0, None), 1),
+        (GateType.OR, (0, 0), 0),
+        (GateType.OR, (None, 1), 1),
+        (GateType.OR, (None, 0), None),
+        (GateType.NOR, (0, 0, 0), 1),
+        (GateType.NOT, (0,), 1),
+        (GateType.NOT, (None,), None),
+        (GateType.BUF, (1,), 1),
+        (GateType.XOR, (1, 0), 1),
+        (GateType.XOR, (1, 1), 0),
+        (GateType.XOR, (1, None), None),
+        (GateType.XNOR, (1, 0), 0),
+        (GateType.XNOR, (0, 0), 1),
+    ],
+)
+def test_three_valued_evaluation(gate_type, inputs, expected):
+    assert evaluate_gate(gate_type, inputs) == expected
+
+
+def test_controlling_value_dominates_unknowns():
+    assert evaluate_gate(GateType.AND, (0, None, None)) == 0
+    assert evaluate_gate(GateType.OR, (1, None)) == 1
+    assert evaluate_gate(GateType.NAND, (0, None)) == 1
+    assert evaluate_gate(GateType.NOR, (1, None)) == 0
+
+
+def test_arity_errors():
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.NOT, (0, 1))
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.BUF, ())
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.AND, ())
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.DFF, (1,))
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.INPUT, ())

@@ -1,0 +1,133 @@
+"""Structural netlist model: connectivity, FSM views, fault-site lines."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, Line, LineKind
+
+
+def build_sample() -> Circuit:
+    circuit = Circuit("sample")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    circuit.add_gate("n1", GateType.AND, ["a", "b"])
+    circuit.add_gate("n2", GateType.NOT, ["n1"])
+    circuit.add_gate("ff", GateType.DFF, ["n2"])
+    circuit.add_gate("n3", GateType.OR, ["n1", "ff"])
+    circuit.add_output("n3")
+    return circuit
+
+
+def test_basic_views(s27):
+    assert s27.primary_inputs == ["G0", "G1", "G2", "G3"]
+    assert s27.primary_outputs == ["G17"]
+    assert s27.pseudo_primary_inputs == ["G5", "G6", "G7"]
+    assert sorted(s27.pseudo_primary_outputs) == ["G10", "G11", "G13"]
+    assert len(s27.combinational_gates) == 10
+    assert len(s27) == 17
+
+
+def test_stats(s27):
+    stats = s27.stats()
+    assert stats["primary_inputs"] == 4
+    assert stats["flip_flops"] == 3
+    assert stats["gates"] == 10
+    # 17 stems + branches on the multi-fanout signals.
+    assert stats["lines"] == 26
+
+
+def test_duplicate_definitions_rejected():
+    circuit = Circuit()
+    circuit.add_input("a")
+    with pytest.raises(ValueError):
+        circuit.add_input("a")
+    with pytest.raises(ValueError):
+        circuit.add_gate("a", GateType.NOT, ["a"])
+    circuit.add_output("x" if False else "a")
+    with pytest.raises(ValueError):
+        circuit.add_output("a")
+
+
+def test_add_gate_rejects_input_type():
+    circuit = Circuit()
+    with pytest.raises(ValueError):
+        circuit.add_gate("a", GateType.INPUT, [])
+
+
+def test_fanout_map():
+    circuit = build_sample()
+    assert circuit.fanout("n1") == [("n2", 0), ("n3", 0)]
+    assert circuit.fanout("a") == [("n1", 0)]
+    assert circuit.fanout("n3") == []
+    assert circuit.observability_sinks("n3") == 1  # primary output only
+
+
+def test_ppi_ppo_mapping():
+    circuit = build_sample()
+    assert circuit.ppo_of_ppi("ff") == "n2"
+    assert circuit.ppi_of_ppo("n2") == "ff"
+    with pytest.raises(KeyError):
+        circuit.ppo_of_ppi("n1")
+    with pytest.raises(KeyError):
+        circuit.ppi_of_ppo("n1")
+
+
+def test_classification_predicates():
+    circuit = build_sample()
+    assert circuit.is_primary_input("a")
+    assert circuit.is_pseudo_primary_input("ff")
+    assert circuit.is_primary_output("n3")
+    assert circuit.is_pseudo_primary_output("n2")
+    assert circuit.is_combinational_source("a")
+    assert circuit.is_combinational_source("ff")
+    assert not circuit.is_combinational_source("n1")
+
+
+def test_lines_enumeration():
+    circuit = build_sample()
+    lines = list(circuit.lines())
+    stems = [line for line in lines if line.is_stem]
+    branches = [line for line in lines if line.is_branch]
+    assert {line.signal for line in stems} == {"a", "b", "n1", "n2", "n3", "ff"}
+    # Only n1 has fanout > 1 in this circuit.
+    assert {(line.signal, line.sink) for line in branches} == {("n1", "n2"), ("n1", "n3")}
+
+
+def test_line_str_and_kind():
+    stem = Line("n1")
+    branch = Line("n1", LineKind.BRANCH, "n3", 0)
+    assert str(stem) == "n1"
+    assert str(branch) == "n1->n3[0]"
+    assert stem.is_stem and not stem.is_branch
+    assert branch.is_branch
+
+
+def test_line_count_excluding_dffs():
+    circuit = build_sample()
+    with_dff = sum(1 for _ in circuit.lines(include_dff_outputs=True))
+    without_dff = sum(1 for _ in circuit.lines(include_dff_outputs=False))
+    assert with_dff == without_dff + 1
+
+
+def test_copy_is_structurally_identical(s27):
+    clone = s27.copy("s27-copy")
+    assert clone.name == "s27-copy"
+    assert clone.stats() == s27.stats()
+    assert clone.primary_inputs == s27.primary_inputs
+    assert [g.name for g in clone.flip_flops] == [g.name for g in s27.flip_flops]
+    # The copy is independent.
+    clone.add_input("extra")
+    assert "extra" not in s27
+
+
+def test_undefined_reference_raises_on_fanout():
+    circuit = Circuit()
+    circuit.add_input("a")
+    circuit.add_gate("n1", GateType.NOT, ["missing"])
+    with pytest.raises(KeyError):
+        circuit.fanout("a")
+
+
+def test_repr_contains_counts(s27):
+    text = repr(s27)
+    assert "pi=4" in text and "ff=3" in text

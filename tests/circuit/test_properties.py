@@ -1,0 +1,80 @@
+"""Property-based tests over randomly generated (surrogate) circuits."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.bench import parse_bench, write_bench
+from repro.circuit.levelize import combinational_order, levelize
+from repro.circuit.validate import validate_circuit
+from repro.data.surrogate import generate_surrogate
+from repro.fausim.logic_sim import LogicSimulator
+
+circuit_params = st.tuples(
+    st.integers(min_value=3, max_value=8),   # inputs
+    st.integers(min_value=1, max_value=4),   # outputs
+    st.integers(min_value=1, max_value=5),   # flip flops
+    st.integers(min_value=10, max_value=60),  # gates
+    st.integers(min_value=0, max_value=1000),  # seed
+)
+
+
+@given(params=circuit_params)
+@settings(max_examples=25, deadline=None)
+def test_generated_circuits_are_valid_and_levelizable(params):
+    inputs, outputs, flip_flops, gates, seed = params
+    circuit = generate_surrogate("prop", inputs, outputs, flip_flops, gates, seed=seed)
+    validate_circuit(circuit)
+    levels = levelize(circuit)
+    order = combinational_order(circuit)
+    assert len(order) == len(circuit.combinational_gates)
+    # Levels respect the evaluation order.
+    for name in order:
+        gate = circuit.gate(name)
+        assert levels[name] == 1 + max(levels[source] for source in gate.fanin)
+
+
+@given(params=circuit_params)
+@settings(max_examples=20, deadline=None)
+def test_bench_roundtrip_preserves_structure(params):
+    inputs, outputs, flip_flops, gates, seed = params
+    circuit = generate_surrogate("roundtrip", inputs, outputs, flip_flops, gates, seed=seed)
+    reparsed = parse_bench(write_bench(circuit), name=circuit.name)
+    assert reparsed.stats() == circuit.stats()
+    assert reparsed.primary_inputs == circuit.primary_inputs
+    assert reparsed.primary_outputs == circuit.primary_outputs
+    for name, gate in circuit.gates.items():
+        assert reparsed.gate(name).gate_type is gate.gate_type
+        assert reparsed.gate(name).fanin == gate.fanin
+
+
+@given(params=circuit_params, bits=st.integers(min_value=0, max_value=2**16 - 1))
+@settings(max_examples=20, deadline=None)
+def test_simulation_is_deterministic_and_complete(params, bits):
+    inputs, outputs, flip_flops, gates, seed = params
+    circuit = generate_surrogate("sim", inputs, outputs, flip_flops, gates, seed=seed)
+    simulator = LogicSimulator(circuit)
+    vector = {
+        pi: (bits >> position) & 1 for position, pi in enumerate(circuit.primary_inputs)
+    }
+    state = {
+        ppi: (bits >> (position + 8)) & 1
+        for position, ppi in enumerate(circuit.pseudo_primary_inputs)
+    }
+    first = simulator.clock(vector, state)
+    second = simulator.clock(vector, state)
+    assert first.values == second.values
+    # A fully specified input leaves no unknowns anywhere.
+    assert all(value in (0, 1) for value in first.values.values())
+    assert all(value in (0, 1) for value in first.next_state.values())
+
+
+@given(params=circuit_params)
+@settings(max_examples=15, deadline=None)
+def test_fault_universe_counts_match_line_counts(params):
+    from repro.faults.model import enumerate_delay_faults
+
+    inputs, outputs, flip_flops, gates, seed = params
+    circuit = generate_surrogate("faults", inputs, outputs, flip_flops, gates, seed=seed)
+    faults = enumerate_delay_faults(circuit)
+    assert len(faults) == 2 * circuit.line_count()
+    assert len(set(faults)) == len(faults)

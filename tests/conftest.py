@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType, parse_bench
+from repro.data import load_circuit
+from repro.data.s27 import S27_BENCH
+
+
+@pytest.fixture(scope="session")
+def s27():
+    """The embedded ISCAS'89 s27 benchmark circuit."""
+    return parse_bench(S27_BENCH, name="s27")
+
+
+@pytest.fixture(scope="session")
+def s27_text():
+    return S27_BENCH
+
+
+@pytest.fixture()
+def and_chain():
+    """Purely combinational circuit: a small AND/OR tree with reconvergence.
+
+        y = (a AND b) OR (b AND c)
+    """
+    builder = CircuitBuilder("and_chain")
+    builder.inputs(["a", "b", "c"])
+    builder.and_("ab", ["a", "b"])
+    builder.and_("bc", ["b", "c"])
+    builder.or_("y", ["ab", "bc"])
+    builder.output("y")
+    return builder.build()
+
+
+@pytest.fixture()
+def inverter_pair():
+    """Two inverters in series feeding the output (plus a side branch)."""
+    builder = CircuitBuilder("inverter_pair")
+    builder.input("a")
+    builder.not_("n1", "a")
+    builder.not_("n2", "n1")
+    builder.output("n2")
+    return builder.build()
+
+
+@pytest.fixture()
+def toggle_ff():
+    """One-flip-flop toggle circuit: q' = q XOR enable, output q."""
+    builder = CircuitBuilder("toggle")
+    builder.input("enable")
+    builder.dff("q", "next_q")
+    builder.xor("next_q", ["enable", "q"])
+    builder.buf("out", "q")
+    builder.output("out")
+    return builder.build()
+
+
+@pytest.fixture()
+def resettable_ff():
+    """A flip-flop with a synchronous reset and an observable output.
+
+    next_q = (q OR data) AND NOT reset ; out = q AND observe
+    """
+    builder = CircuitBuilder("resettable")
+    builder.inputs(["data", "reset", "observe"])
+    builder.dff("q", "next_q")
+    builder.not_("nreset", "reset")
+    builder.or_("hold", ["q", "data"])
+    builder.and_("next_q", ["hold", "nreset"])
+    builder.and_("out", ["q", "observe"])
+    builder.output("out")
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def small_surrogate():
+    """A small deterministic surrogate circuit for sequential tests."""
+    return load_circuit("s298", scale=0.2, seed=3)

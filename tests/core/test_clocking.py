@@ -1,0 +1,62 @@
+"""The slow/fast clock schedule of the time frame model (Figure 2)."""
+
+import pytest
+
+from repro.core.clocking import ClockSchedule, ClockSpeed
+
+
+def test_schedule_layout_matches_figure2():
+    schedule = ClockSchedule.for_sequence(initialization_frames=2, propagation_frames=2)
+    assert schedule.frame_count == 6
+    assert [speed.value for speed in schedule.speeds] == [
+        "slow",
+        "slow",
+        "slow",
+        "fast",
+        "slow",
+        "slow",
+    ]
+    assert schedule.fast_frame_index == 3
+    assert schedule.initialization_frames == 2
+    assert schedule.propagation_frames == 2
+    assert schedule.is_valid()
+
+
+def test_minimal_schedule_is_two_frames():
+    schedule = ClockSchedule.for_sequence(0, 0)
+    assert schedule.frame_count == 2
+    assert schedule.speeds[0] is ClockSpeed.SLOW
+    assert schedule.speeds[1] is ClockSpeed.FAST
+    assert schedule.is_valid()
+
+
+def test_exactly_one_fast_frame_always():
+    for init in range(4):
+        for prop in range(4):
+            schedule = ClockSchedule.for_sequence(init, prop)
+            fast = [speed for speed in schedule.speeds if speed is ClockSpeed.FAST]
+            assert len(fast) == 1
+            assert schedule.is_valid()
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(ValueError):
+        ClockSchedule.for_sequence(-1, 0)
+    with pytest.raises(ValueError):
+        ClockSchedule.for_sequence(0, -2)
+
+
+def test_invalid_schedules_detected():
+    all_slow = ClockSchedule(speeds=(ClockSpeed.SLOW, ClockSpeed.SLOW))
+    assert not all_slow.is_valid()
+    fast_first = ClockSchedule(speeds=(ClockSpeed.FAST, ClockSpeed.SLOW))
+    assert not fast_first.is_valid()
+    two_fast = ClockSchedule(
+        speeds=(ClockSpeed.SLOW, ClockSpeed.FAST, ClockSpeed.FAST)
+    )
+    assert not two_fast.is_valid()
+
+
+def test_str_rendering():
+    schedule = ClockSchedule.for_sequence(1, 1)
+    assert str(schedule) == "slow slow fast slow"

@@ -1,0 +1,109 @@
+"""Benchmark registry, embedded s27 and the surrogate generator."""
+
+import pytest
+
+from repro.circuit.levelize import combinational_order
+from repro.circuit.validate import validate_circuit
+from repro.data import circuit_spec, generate_surrogate, list_circuits, load_circuit
+from repro.data.iscas89 import ISCAS89_SPECS, TABLE3_ORDER
+
+
+def test_registry_lists_all_table3_circuits():
+    names = list_circuits()
+    assert names == TABLE3_ORDER
+    assert names[0] == "s27"
+    assert "s1238" in names
+    assert len(names) == 12
+
+
+def test_specs_have_sane_statistics():
+    for name, spec in ISCAS89_SPECS.items():
+        assert spec.inputs >= 3 or name == "s298"
+        assert spec.outputs >= 1
+        assert spec.flip_flops >= 3
+        assert spec.gates >= 10
+        assert spec.surrogate == (name != "s27")
+
+
+def test_unknown_circuit_rejected():
+    with pytest.raises(KeyError):
+        circuit_spec("s9999")
+    with pytest.raises(KeyError):
+        load_circuit("c880")
+
+
+def test_s27_is_loaded_verbatim():
+    circuit = load_circuit("s27")
+    stats = circuit.stats()
+    assert stats == {
+        "primary_inputs": 4,
+        "primary_outputs": 1,
+        "flip_flops": 3,
+        "gates": 10,
+        "signals": 17,
+        "lines": 26,
+    }
+    # Scaling never changes the embedded circuit.
+    assert load_circuit("s27", scale=0.1).stats() == stats
+
+
+def test_surrogates_match_interface_statistics():
+    for name in ("s298", "s386", "s641"):
+        spec = circuit_spec(name)
+        circuit = load_circuit(name)
+        stats = circuit.stats()
+        assert stats["primary_inputs"] == spec.inputs
+        assert stats["primary_outputs"] == spec.outputs
+        assert stats["flip_flops"] == spec.flip_flops
+        # The generator may add a few gating gates for synchronisable FFs.
+        assert spec.gates <= stats["gates"] <= spec.gates + spec.flip_flops + spec.outputs
+
+
+def test_surrogates_are_structurally_valid():
+    for name in ("s208", "s344", "s420"):
+        circuit = load_circuit(name, scale=0.5)
+        validate_circuit(circuit)
+        order = combinational_order(circuit)
+        assert order
+
+
+def test_surrogate_generation_is_deterministic():
+    first = load_circuit("s298", seed=5)
+    second = load_circuit("s298", seed=5)
+    assert first.stats() == second.stats()
+    assert [repr(g) for g in first.gates.values()] == [repr(g) for g in second.gates.values()]
+    different = load_circuit("s298", seed=6)
+    assert [repr(g) for g in different.gates.values()] != [
+        repr(g) for g in first.gates.values()
+    ]
+
+
+def test_scaled_surrogates_are_smaller():
+    full = load_circuit("s1238")
+    scaled = load_circuit("s1238", scale=0.25)
+    assert scaled.stats()["gates"] < full.stats()["gates"]
+    assert scaled.stats()["flip_flops"] <= full.stats()["flip_flops"]
+    assert scaled.name.endswith("@0.25")
+
+
+def test_generate_surrogate_parameter_validation():
+    with pytest.raises(ValueError):
+        generate_surrogate("bad", 0, 1, 1, 10)
+    with pytest.raises(ValueError):
+        generate_surrogate("bad", 2, 1, 1, 0)
+
+
+def test_generate_surrogate_direct():
+    circuit = generate_surrogate("demo", 5, 3, 4, 40, seed=1)
+    validate_circuit(circuit)
+    stats = circuit.stats()
+    assert stats["primary_inputs"] == 5
+    assert stats["primary_outputs"] == 3
+    assert stats["flip_flops"] == 4
+
+
+def test_surrogate_has_mixed_fanin_gates():
+    circuit = generate_surrogate("mix", 6, 2, 3, 120, seed=2)
+    fanins = {len(gate.fanin) for gate in circuit.combinational_gates}
+    assert 1 in fanins and 2 in fanins
+    assert max(fanins) <= 4

@@ -1,0 +1,120 @@
+"""Gate delay fault model and fault-list bookkeeping."""
+
+import pytest
+
+from repro.algebra.values import F, FC, R, RC
+from repro.circuit.netlist import Line, LineKind
+from repro.faults.model import (
+    DelayFaultType,
+    FaultList,
+    FaultStatus,
+    GateDelayFault,
+    enumerate_delay_faults,
+)
+
+
+def test_fault_type_values():
+    str_fault = DelayFaultType.SLOW_TO_RISE
+    stf_fault = DelayFaultType.SLOW_TO_FALL
+    assert str_fault.activation_value is R
+    assert str_fault.fault_value is RC
+    assert str_fault.good_final_value == 1
+    assert str_fault.faulty_final_value == 0
+    assert stf_fault.activation_value is F
+    assert stf_fault.fault_value is FC
+    assert stf_fault.good_final_value == 0
+    assert stf_fault.faulty_final_value == 1
+
+
+def test_fault_str_and_accessors():
+    fault = GateDelayFault(Line("n1"), DelayFaultType.SLOW_TO_RISE)
+    assert str(fault) == "n1 StR"
+    assert fault.signal == "n1"
+    assert fault.activation_value is R
+    branch_fault = GateDelayFault(
+        Line("n1", LineKind.BRANCH, "g2", 1), DelayFaultType.SLOW_TO_FALL
+    )
+    assert "n1->g2[1]" in str(branch_fault)
+
+
+def test_enumerate_delay_faults_counts(s27):
+    faults = enumerate_delay_faults(s27)
+    # Two faults per line.
+    assert len(faults) == 2 * s27.line_count()
+    # Every stem appears.
+    stems = {fault.line.signal for fault in faults if fault.line.is_stem}
+    assert stems == set(s27.signals)
+
+
+def test_enumerate_without_branches(s27):
+    faults = enumerate_delay_faults(s27, include_branches=False)
+    assert all(fault.line.is_stem for fault in faults)
+    assert len(faults) == 2 * len(s27.signals)
+
+
+def test_enumerate_without_dff_outputs(s27):
+    faults = enumerate_delay_faults(s27, include_dff_outputs=False)
+    signals = {fault.line.signal for fault in faults if fault.line.is_stem}
+    assert "G5" not in signals
+
+
+def test_fault_list_lifecycle(s27):
+    faults = enumerate_delay_faults(s27)
+    fault_list = FaultList(faults)
+    assert len(fault_list) == len(faults)
+    assert fault_list.counts()["untargeted"] == len(faults)
+
+    first, second, third = faults[0], faults[1], faults[2]
+    fault_list.mark(first, FaultStatus.TESTED)
+    fault_list.mark(second, FaultStatus.UNTESTABLE)
+    fault_list.mark(third, FaultStatus.ABORTED)
+    counts = fault_list.counts()
+    assert counts["tested"] == 1
+    assert counts["untestable"] == 1
+    assert counts["aborted"] == 1
+    assert fault_list.status(first) is FaultStatus.TESTED
+    assert first not in fault_list.untargeted()
+    assert fault_list.coverage() == pytest.approx(1 / len(faults))
+
+
+def test_fault_list_never_downgrades_tested(s27):
+    faults = enumerate_delay_faults(s27)
+    fault_list = FaultList(faults)
+    fault_list.mark(faults[0], FaultStatus.TESTED)
+    fault_list.mark(faults[0], FaultStatus.ABORTED)
+    assert fault_list.status(faults[0]) is FaultStatus.TESTED
+
+
+def test_mark_tested_returns_newly_marked(s27):
+    faults = enumerate_delay_faults(s27)
+    fault_list = FaultList(faults)
+    assert fault_list.mark_tested(faults[:3]) == 3
+    assert fault_list.mark_tested(faults[:3]) == 0
+    assert fault_list.mark_tested(faults[2:5]) == 2
+
+
+def test_fault_list_rejects_unknown_and_empty(s27):
+    faults = enumerate_delay_faults(s27)
+    fault_list = FaultList(faults[:4])
+    stranger = faults[10]
+    with pytest.raises(KeyError):
+        fault_list.mark(stranger, FaultStatus.TESTED)
+    with pytest.raises(ValueError):
+        FaultList([])
+
+
+def test_with_status_filter(s27):
+    faults = enumerate_delay_faults(s27)
+    fault_list = FaultList(faults)
+    fault_list.mark(faults[0], FaultStatus.UNTESTABLE)
+    assert fault_list.with_status(FaultStatus.UNTESTABLE) == [faults[0]]
+
+
+def test_faults_are_hashable_and_comparable():
+    one = GateDelayFault(Line("x"), DelayFaultType.SLOW_TO_RISE)
+    two = GateDelayFault(Line("x"), DelayFaultType.SLOW_TO_RISE)
+    other = GateDelayFault(Line("x"), DelayFaultType.SLOW_TO_FALL)
+    assert one == two
+    assert hash(one) == hash(two)
+    assert one != other
+    assert len({one, two, other}) == 2

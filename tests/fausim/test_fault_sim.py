@@ -1,0 +1,71 @@
+"""Propagation-phase fault simulation (FAUSIM phase 2)."""
+
+import pytest
+
+from repro.fausim.fault_sim import PropagationFaultSimulator
+
+
+def test_observable_immediately(resettable_ff):
+    # State bit q is observed at "out" whenever observe=1.
+    simulator = PropagationFaultSimulator(resettable_ff, [{"data": 0, "reset": 0, "observe": 1}])
+    result = simulator.observability({"q": 1}, "q")
+    assert result.observable
+    assert result.frame == 0
+    assert result.primary_output == "out"
+    assert bool(result)
+
+
+def test_not_observable_when_masked(resettable_ff):
+    # observe=0 masks the state at the output; and with reset=1 the difference
+    # does not even survive into the next state.
+    simulator = PropagationFaultSimulator(
+        resettable_ff, [{"data": 0, "reset": 1, "observe": 0}, {"data": 0, "reset": 1, "observe": 0}]
+    )
+    result = simulator.observability({"q": 1}, "q")
+    assert not result.observable
+
+
+def test_observable_after_two_frames(resettable_ff):
+    # First frame masks the output but holds the state, second frame observes it.
+    simulator = PropagationFaultSimulator(
+        resettable_ff,
+        [{"data": 0, "reset": 0, "observe": 0}, {"data": 0, "reset": 0, "observe": 1}],
+    )
+    result = simulator.observability({"q": 1}, "q")
+    assert result.observable
+    assert result.frame == 1
+
+
+def test_unknown_good_value_is_never_credited(resettable_ff):
+    simulator = PropagationFaultSimulator(resettable_ff, [{"data": 0, "reset": 0, "observe": 1}])
+    result = simulator.observability({}, "q")
+    assert not result.observable
+
+
+def test_explicit_faulty_value_equal_to_good_is_rejected(resettable_ff):
+    simulator = PropagationFaultSimulator(resettable_ff, [{"observe": 1, "reset": 0, "data": 0}])
+    result = simulator.observability({"q": 1}, "q", faulty_value=1)
+    assert not result.observable
+
+
+def test_observability_map(s27):
+    vectors = [{"G0": 0, "G1": 0, "G2": 0, "G3": 0} for _ in range(3)]
+    simulator = PropagationFaultSimulator(s27, vectors)
+    state = {"G5": 0, "G6": 0, "G7": 0}
+    results = simulator.observability_map(state, ["G5", "G6", "G7"])
+    assert set(results) == {"G5", "G6", "G7"}
+    # G6 drives G17 = NOT(G11) only through the next-state logic; flipping G6
+    # changes G8 = AND(G14, G6) ... with G0=0, G14=1, so G8 follows G6 and the
+    # difference can reach the output logic in a later frame.  At minimum the
+    # call must terminate and produce a boolean verdict for every bit.
+    for observability in results.values():
+        assert isinstance(observability.observable, bool)
+
+
+def test_state_trace_length(resettable_ff):
+    vectors = [{"data": 1, "reset": 0, "observe": 0}, {"data": 0, "reset": 1, "observe": 0}]
+    simulator = PropagationFaultSimulator(resettable_ff, vectors)
+    trace = simulator.state_trace({"q": 0})
+    assert len(trace) == 2
+    assert trace[0]["q"] == 1  # loaded the data bit
+    assert trace[1]["q"] == 0  # reset afterwards

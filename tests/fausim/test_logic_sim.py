@@ -1,0 +1,90 @@
+"""Three-valued good-machine simulation (FAUSIM phase 1)."""
+
+import itertools
+
+import pytest
+
+from repro.fausim.logic_sim import (
+    LogicSimulator,
+    simulate_combinational,
+    simulate_sequence,
+)
+
+
+def test_combinational_full_values(and_chain):
+    values = simulate_combinational(and_chain, {"a": 1, "b": 1, "c": 0})
+    assert values["ab"] == 1
+    assert values["bc"] == 0
+    assert values["y"] == 1
+
+
+def test_combinational_with_unknowns(and_chain):
+    values = simulate_combinational(and_chain, {"a": 0, "c": 0})
+    # b unknown: both AND terms are forced to 0 by the controlling value.
+    assert values["ab"] == 0 and values["bc"] == 0 and values["y"] == 0
+    values = simulate_combinational(and_chain, {"a": 1})
+    assert values["ab"] is None
+    assert values["y"] is None
+
+
+def test_exhaustive_consistency_with_python_semantics(and_chain):
+    for a, b, c in itertools.product((0, 1), repeat=3):
+        values = simulate_combinational(and_chain, {"a": a, "b": b, "c": c})
+        assert values["y"] == ((a and b) or (b and c))
+
+
+def test_s27_single_frame(s27):
+    simulator = LogicSimulator(s27)
+    frame = simulator.clock({"G0": 1, "G1": 0, "G2": 1, "G3": 0}, {"G5": 0, "G6": 0, "G7": 0})
+    # G14 = NOT(G0) = 0, G8 = AND(G14, G6) = 0
+    assert frame.values["G14"] == 0
+    assert frame.values["G8"] == 0
+    # next state comes from G10, G11, G13
+    assert set(frame.next_state) == {"G5", "G6", "G7"}
+    assert frame.next_state["G5"] == frame.values["G10"]
+
+
+def test_sequence_simulation_toggle(toggle_ff):
+    # q starts unknown; enable=0 keeps it unknown, first known value needs reset-like behaviour
+    result = simulate_sequence(toggle_ff, [{"enable": 0}, {"enable": 1}], {"q": 0})
+    assert result.frame_count == 2
+    # frame 0: q=0, enable=0 -> next_q = 0; frame 1: enable=1 -> next_q = 1
+    assert result.frames[0].next_state["q"] == 0
+    assert result.final_state["q"] == 1
+
+
+def test_sequence_starts_all_unknown_by_default(toggle_ff):
+    result = simulate_sequence(toggle_ff, [{"enable": 1}])
+    assert result.final_state["q"] is None
+
+
+def test_primary_output_trace(resettable_ff):
+    vectors = [
+        {"data": 0, "reset": 1, "observe": 1},  # force q -> 0
+        {"data": 1, "reset": 0, "observe": 1},  # load 1
+        {"data": 0, "reset": 0, "observe": 1},  # hold
+    ]
+    result = simulate_sequence(resettable_ff, vectors)
+    trace = result.primary_output_trace(resettable_ff)
+    assert len(trace) == 3
+    # After the reset frame the state is known.
+    assert result.frames[0].next_state["q"] == 0
+    assert result.frames[1].next_state["q"] == 1
+    assert result.final_state["q"] == 1
+    # The output in frame 2 observes the held value.
+    assert trace[2]["out"] == 1
+
+
+def test_outputs_projection(s27):
+    simulator = LogicSimulator(s27)
+    frame = simulator.clock({"G0": 0, "G1": 0, "G2": 0, "G3": 0}, {"G5": 0, "G6": 0, "G7": 0})
+    outputs = simulator.outputs(frame.values)
+    assert set(outputs) == {"G17"}
+
+
+def test_missing_inputs_default_to_unknown(s27):
+    simulator = LogicSimulator(s27)
+    frame = simulator.clock({}, {})
+    assert frame.values["G0"] is None
+    # G17 = NOT(G11) where G11 depends on unknown state: unknown
+    assert frame.values["G17"] is None

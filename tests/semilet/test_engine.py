@@ -1,0 +1,36 @@
+"""The Semilet facade bundling propagation and synchronisation."""
+
+from repro.semilet.engine import Semilet
+
+
+def test_facade_exposes_both_services(s27):
+    semilet = Semilet(s27, backtrack_limit=100)
+    sync = semilet.synchronize({"G7": 0})
+    assert sync.success
+
+    propagation = semilet.propagate(
+        {"G5": 0, "G6": 1, "G7": 0}, {"G5": 0, "G6": 0, "G7": 0}
+    )
+    assert propagation.success
+
+
+def test_limits_are_forwarded(s27):
+    semilet = Semilet(
+        s27,
+        backtrack_limit=7,
+        max_propagation_frames=3,
+        max_synchronization_frames=2,
+    )
+    assert semilet.propagation_engine.backtrack_limit == 7
+    assert semilet.propagation_engine.max_frames == 3
+    assert semilet.synchronizer.max_frames == 2
+    assert semilet.synchronizer.backtrack_limit == 7
+
+
+def test_default_frame_limits_scale_with_state_size(s27, small_surrogate):
+    small = Semilet(s27)
+    larger = Semilet(small_surrogate)
+    assert small.propagation_engine.max_frames >= 4
+    assert larger.propagation_engine.max_frames >= small.propagation_engine.max_frames or (
+        len(small_surrogate.flip_flops) <= len(s27.flip_flops)
+    )

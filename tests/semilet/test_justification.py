@@ -1,0 +1,123 @@
+"""Single-frame justification (building block of reverse time processing)."""
+
+import pytest
+
+from repro.fausim.logic_sim import simulate_combinational
+from repro.semilet.justification import FrameJustifier
+
+
+def _verify(circuit, objectives, result, fixed_ppis=None):
+    """Objectives must hold when re-simulating the returned assignment."""
+    state = dict(fixed_ppis or {})
+    state.update(result.ppi_assignment)
+    values = simulate_combinational(circuit, result.pi_assignment, state)
+    for signal, target in objectives.items():
+        assert values[signal] == target
+
+
+def test_justify_simple_and(and_chain):
+    justifier = FrameJustifier(and_chain)
+    result = justifier.justify({"y": 1})
+    assert result.success
+    _verify(and_chain, {"y": 1}, result)
+
+
+def test_justify_zero_output(and_chain):
+    justifier = FrameJustifier(and_chain)
+    result = justifier.justify({"y": 0})
+    assert result.success
+    _verify(and_chain, {"y": 0}, result)
+
+
+def test_justify_multiple_objectives(and_chain):
+    justifier = FrameJustifier(and_chain)
+    result = justifier.justify({"ab": 1, "bc": 0})
+    assert result.success
+    _verify(and_chain, {"ab": 1, "bc": 0}, result)
+
+
+def test_justify_impossible_objective():
+    from repro.circuit.builder import CircuitBuilder
+
+    builder = CircuitBuilder("const")
+    builder.input("a")
+    builder.xor("tie", ["a", "a"])  # constant 0
+    builder.output("tie")
+    circuit = builder.build()
+    justifier = FrameJustifier(circuit)
+    result = justifier.justify({"tie": 1})
+    assert not result.success
+
+
+def test_justify_prefers_primary_inputs_on_s27(s27):
+    justifier = FrameJustifier(s27)
+    # G11 = NOR(G5, G9) = 0 is justifiable with primary inputs alone
+    # (G0=1, G3=0 force G9=1); the state requirement should stay empty.
+    result = justifier.justify({"G11": 0})
+    assert result.success
+    _verify(s27, {"G11": 0}, result)
+    assert result.ppi_assignment == {}
+
+
+def test_justify_uses_ppis_when_needed(s27):
+    justifier = FrameJustifier(s27)
+    # G11 = 1 needs G5 = 0 and G9 = 0 (which in turn needs state help via G12/G8).
+    result = justifier.justify({"G11": 1})
+    assert result.success
+    _verify(s27, {"G11": 1}, result)
+    assert result.ppi_assignment  # some state requirement is unavoidable
+
+
+def test_justify_without_ppi_decisions(s27):
+    justifier = FrameJustifier(s27, decide_ppis=False)
+    result = justifier.justify({"G11": 1})
+    # Without control over the state this objective is not justifiable in one frame.
+    assert not result.success
+
+
+def test_fixed_ppis_are_respected(s27):
+    justifier = FrameJustifier(s27)
+    result = justifier.justify({"G11": 0}, fixed_ppis={"G5": 1})
+    assert result.success
+    assert "G5" not in result.ppi_assignment
+    _verify(s27, {"G11": 0}, result, fixed_ppis={"G5": 1})
+
+
+def test_fixed_pis_are_respected(s27):
+    justifier = FrameJustifier(s27)
+    result = justifier.justify({"G14": 1}, fixed_pis={"G0": 0})
+    # G14 = NOT(G0) = 1 exactly when G0 = 0, which is already fixed.
+    assert result.success
+    assert "G0" not in result.pi_assignment
+
+
+def test_conflicting_fixed_pis_fail(s27):
+    justifier = FrameJustifier(s27)
+    result = justifier.justify({"G14": 1}, fixed_pis={"G0": 1})
+    assert not result.success
+
+
+def test_justify_xor_objective(toggle_ff):
+    justifier = FrameJustifier(toggle_ff)
+    result = justifier.justify({"next_q": 1})
+    assert result.success
+    _verify(toggle_ff, {"next_q": 1}, result)
+
+
+def test_backtrack_limit_reported():
+    from repro.circuit.builder import CircuitBuilder
+
+    builder = CircuitBuilder("wide")
+    names = [f"i{k}" for k in range(6)]
+    builder.inputs(names)
+    builder.xor("p0", names[:2])
+    builder.xor("p1", ["p0", names[2]])
+    builder.xor("p2", ["p1", names[3]])
+    builder.and_("mask", [names[4], names[5]])
+    builder.and_("y", ["p2", "mask"])
+    builder.output("y")
+    circuit = builder.build()
+    justifier = FrameJustifier(circuit, backtrack_limit=200)
+    result = justifier.justify({"y": 1})
+    assert result.success
+    assert result.backtracks <= 200

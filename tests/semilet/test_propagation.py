@@ -1,0 +1,93 @@
+"""Forward time processing: propagation of a captured fault effect to a PO."""
+
+import pytest
+
+from repro.fausim.fault_sim import PropagationFaultSimulator
+from repro.semilet.propagation import PropagationEngine
+
+
+def _verify_propagation(circuit, good_state, faulty_state, result):
+    """The returned vectors must make some PO differ between the machines."""
+    assert result.success
+    simulator = PropagationFaultSimulator(circuit, result.vectors)
+    # Re-simulate both machines explicitly.
+    from repro.fausim.logic_sim import LogicSimulator
+
+    logic = LogicSimulator(circuit)
+    good, faulty = dict(good_state), dict(faulty_state)
+    observed = False
+    for vector in result.vectors:
+        good_frame = logic.clock(vector, good)
+        faulty_frame = logic.clock(vector, faulty)
+        for po in circuit.primary_outputs:
+            good_po, faulty_po = good_frame.values[po], faulty_frame.values[po]
+            if good_po is not None and faulty_po is not None and good_po != faulty_po:
+                observed = True
+        good, faulty = good_frame.next_state, faulty_frame.next_state
+    assert observed
+
+
+def test_immediate_observation(resettable_ff):
+    engine = PropagationEngine(resettable_ff)
+    result = engine.propagate({"q": 1}, {"q": 0})
+    _verify_propagation(resettable_ff, {"q": 1}, {"q": 0}, result)
+    assert result.observation_frame == 0
+    assert result.observed_po == "out"
+
+
+def test_propagation_on_s27(s27):
+    engine = PropagationEngine(s27)
+    # A difference in G6 feeds G8 = AND(G14, G6); with G0 = 0 it reaches the
+    # next-state logic and eventually the single PO G17 = NOT(G11).
+    good = {"G5": 0, "G6": 1, "G7": 0}
+    faulty = {"G5": 0, "G6": 0, "G7": 0}
+    result = engine.propagate(good, faulty)
+    _verify_propagation(s27, good, faulty, result)
+
+
+def test_propagation_with_unknown_state_bits(s27):
+    engine = PropagationEngine(s27)
+    # Only the faulty bit is known; the rest of the state is the unjustifiable
+    # don't care the paper describes (unknown but equal in both machines).
+    good = {"G6": 1}
+    faulty = {"G6": 0}
+    result = engine.propagate(good, faulty)
+    if result.success:
+        _verify_propagation(s27, good, faulty, result)
+    else:
+        assert not result.vectors
+
+
+def test_propagation_failure_when_difference_is_masked(resettable_ff):
+    engine = PropagationEngine(resettable_ff, max_frames=2)
+    # good == faulty: there is nothing to propagate.
+    result = engine.propagate({"q": 1}, {"q": 1})
+    assert not result.success
+
+
+def test_required_first_frame_ppis_are_reported(s27):
+    engine = PropagationEngine(s27)
+    good = {"G6": 1}
+    faulty = {"G6": 0}
+    result = engine.propagate(good, faulty, assignable_ppis=["G5", "G7"])
+    if result.success and result.required_first_frame_ppis:
+        # Any required value must be on an assignable PPI and binary.
+        for ppi, value in result.required_first_frame_ppis.items():
+            assert ppi in ("G5", "G7")
+            assert value in (0, 1)
+
+
+def test_propagation_respects_frame_limit(s27):
+    engine = PropagationEngine(s27, max_frames=1)
+    # With a single frame the difference in G7 cannot reach the PO (G7 only
+    # feeds G12 which is two state hops away from G11/G17).
+    result = engine.propagate({"G7": 1}, {"G7": 0})
+    assert not result.success
+
+
+def test_vectors_only_mention_primary_inputs(s27):
+    engine = PropagationEngine(s27)
+    result = engine.propagate({"G5": 0, "G6": 1, "G7": 0}, {"G5": 0, "G6": 0, "G7": 0})
+    assert result.success
+    for vector in result.vectors:
+        assert set(vector) <= set(s27.primary_inputs)

@@ -1,0 +1,98 @@
+"""Reverse time processing: synchronising (initialising) sequence search."""
+
+import pytest
+
+from repro.fausim.logic_sim import simulate_sequence
+from repro.semilet.synchronization import Synchronizer
+
+
+def _verify_sync(circuit, required_state, result):
+    assert result.success
+    final = simulate_sequence(circuit, result.vectors).final_state
+    for ppi, value in required_state.items():
+        assert final[ppi] == value, f"{ppi} not established by {result.vectors}"
+
+
+def test_empty_requirement_needs_no_vectors(s27):
+    result = Synchronizer(s27).synchronize({})
+    assert result.success
+    assert result.vectors == []
+    assert result.length == 0
+
+
+def test_single_bit_requirements_on_s27(s27):
+    synchronizer = Synchronizer(s27)
+    for requirement in ({"G7": 0}, {"G7": 1}, {"G5": 0}, {"G6": 1}, {"G6": 0}):
+        result = synchronizer.synchronize(requirement)
+        _verify_sync(s27, requirement, result)
+
+
+def test_multi_bit_requirement_on_s27(s27):
+    synchronizer = Synchronizer(s27)
+    requirement = {"G5": 0, "G6": 1, "G7": 0}
+    result = synchronizer.synchronize(requirement)
+    _verify_sync(s27, requirement, result)
+
+
+def test_unreachable_state_is_reported(s27):
+    """G5 = 1 and G6 = 1 simultaneously is unreachable in s27.
+
+    G5 is loaded from G10 = NOR(G14, G11) and G6 from G11 = NOR(G5, G9); for
+    both to become 1 in the same frame, G11 would have to be 0 and 1 at once.
+    """
+    synchronizer = Synchronizer(s27)
+    result = synchronizer.synchronize({"G5": 1, "G6": 1})
+    assert not result.success
+    assert result.vectors == []
+
+
+def test_reset_like_flip_flop(resettable_ff):
+    synchronizer = Synchronizer(resettable_ff)
+    # q = 0 is reachable in one frame by asserting reset.
+    to_zero = synchronizer.synchronize({"q": 0})
+    _verify_sync(resettable_ff, {"q": 0}, to_zero)
+    assert to_zero.length == 1
+    # q = 1 needs reset low and data high; reachable from the all-X state in
+    # one frame as well because data=1 dominates the OR.
+    to_one = synchronizer.synchronize({"q": 1})
+    _verify_sync(resettable_ff, {"q": 1}, to_one)
+
+
+def test_toggle_ff_is_not_synchronizable(toggle_ff):
+    """A pure toggle flip-flop without reset cannot be initialised."""
+    synchronizer = Synchronizer(toggle_ff)
+    result = synchronizer.synchronize({"q": 0})
+    assert not result.success
+
+
+def test_max_frames_limits_sequence_length(s27):
+    synchronizer = Synchronizer(s27, max_frames=1)
+    # Requirements needing two frames must fail under a one-frame limit.
+    result = synchronizer.synchronize({"G6": 1})
+    deep = result.success and result.length <= 1
+    shallow_failed = not result.success
+    assert deep or shallow_failed
+
+
+def test_sequences_only_assign_primary_inputs(s27):
+    synchronizer = Synchronizer(s27)
+    result = synchronizer.synchronize({"G5": 0, "G7": 1})
+    assert result.success
+    for vector in result.vectors:
+        assert set(vector) <= set(s27.primary_inputs)
+
+
+def test_surrogate_circuit_partially_synchronizable(small_surrogate):
+    """The surrogate generator produces a mix of easy and hard state bits."""
+    synchronizer = Synchronizer(small_surrogate, backtrack_limit=200)
+    successes = 0
+    attempts = 0
+    for ppi in small_surrogate.pseudo_primary_inputs:
+        for value in (0, 1):
+            attempts += 1
+            result = synchronizer.synchronize({ppi: value})
+            if result.success:
+                successes += 1
+                _verify_sync(small_surrogate, {ppi: value}, result)
+    assert successes > 0
+    assert attempts == 2 * len(small_surrogate.pseudo_primary_inputs)

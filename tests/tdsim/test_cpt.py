@@ -1,0 +1,134 @@
+"""TDsim: critical path tracing delay fault simulation of the fast frame."""
+
+import pytest
+
+from repro.algebra.values import F, R, V0, V1
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Line, LineKind
+from repro.faults.model import DelayFaultType, GateDelayFault
+from repro.tdgen.context import TDgenContext
+from repro.tdgen.simulation import simulate_two_frame
+from repro.tdsim.cpt import DelayFaultSimulator
+
+
+def _reference_detections(circuit, pi_values, ppi_initial, observation_points):
+    """Brute-force reference: inject every fault explicitly and check observation."""
+    from repro.algebra.sets import has_fault_value, is_singleton
+    from repro.faults.model import enumerate_delay_faults
+
+    context = TDgenContext(circuit)
+    detected = set()
+    for fault in enumerate_delay_faults(circuit):
+        state = simulate_two_frame(context, pi_values, ppi_initial, fault)
+        for signal in observation_points:
+            value_set = state.signal_sets[signal]
+            if is_singleton(value_set) and has_fault_value(value_set):
+                detected.add(fault)
+                break
+    return detected
+
+
+def test_cpt_matches_brute_force_on_and_chain(and_chain):
+    simulator = DelayFaultSimulator(and_chain)
+    pi_values = {"a": R, "b": V1, "c": V0}
+    detections = {d.fault for d in simulator.simulate(pi_values, {})}
+    reference = _reference_detections(and_chain, pi_values, {}, and_chain.primary_outputs)
+    assert detections == reference
+    # The targeted rising transition along a -> ab -> y must be covered.
+    assert GateDelayFault(Line("a"), DelayFaultType.SLOW_TO_RISE) in detections
+    assert GateDelayFault(Line("ab"), DelayFaultType.SLOW_TO_RISE) in detections
+    assert GateDelayFault(Line("y"), DelayFaultType.SLOW_TO_RISE) in detections
+
+
+def test_cpt_matches_brute_force_on_inverter_pair(inverter_pair):
+    simulator = DelayFaultSimulator(inverter_pair)
+    for pi_value in (R, F):
+        detections = {d.fault for d in simulator.simulate({"a": pi_value}, {})}
+        reference = _reference_detections(
+            inverter_pair, {"a": pi_value}, {}, inverter_pair.primary_outputs
+        )
+        assert detections == reference
+        assert len(detections) == 3  # a, n1, n2 each with the matching transition
+
+
+def test_cpt_matches_brute_force_on_s27(s27):
+    simulator = DelayFaultSimulator(s27)
+    cases = [
+        ({"G0": F, "G1": V0, "G2": V0, "G3": V1}, {"G5": 0, "G6": 1, "G7": 0}),
+        ({"G0": R, "G1": V0, "G2": V1, "G3": V0}, {"G5": 0, "G6": 0, "G7": 0}),
+        ({"G0": V0, "G1": F, "G2": V0, "G3": R}, {"G5": 1, "G6": 0, "G7": 1}),
+    ]
+    for pi_values, ppi_initial in cases:
+        detections = {d.fault for d in simulator.simulate(pi_values, ppi_initial)}
+        reference = _reference_detections(s27, pi_values, ppi_initial, s27.primary_outputs)
+        # CPT must never claim a fault the exact injection does not confirm.
+        assert detections <= reference
+        # And it must find the lion's share of them (stems are exact, branches
+        # are exact, only deep reconvergence may be missed conservatively).
+        if reference:
+            assert len(detections) >= len(reference) * 0.7
+
+
+def test_steady_pattern_detects_nothing(s27):
+    simulator = DelayFaultSimulator(s27)
+    pi_values = {"G0": V0, "G1": V0, "G2": V0, "G3": V0}
+    detections = simulator.simulate(pi_values, {"G5": 0, "G6": 0, "G7": 0})
+    for detection in detections:
+        # Whatever is detected must at least involve a transition somewhere;
+        # with an all-steady state and steady inputs the fast frame has no
+        # transitions at all, so nothing can be detected.
+        raise AssertionError(f"unexpected detection {detection.fault}")
+
+
+def test_ppo_observation_requires_observability_list(s27):
+    simulator = DelayFaultSimulator(s27)
+    pi_values = {"G0": F, "G1": V0, "G2": V0, "G3": V1}
+    ppi_initial = {"G5": 0, "G6": 1, "G7": 0}
+    without_ppos = {d.fault for d in simulator.simulate(pi_values, ppi_initial)}
+    with_ppos = {
+        d.fault
+        for d in simulator.simulate(
+            pi_values, ppi_initial, observable_ppos=list(s27.pseudo_primary_outputs)
+        )
+    }
+    assert without_ppos <= with_ppos
+
+
+def test_invalidation_check_blocks_state_disturbing_faults(s27):
+    """A fault observed through a PPO must not disturb required PPO values."""
+    simulator = DelayFaultSimulator(s27)
+    pi_values = {"G0": F, "G1": V0, "G2": V0, "G3": V1}
+    ppi_initial = {"G5": 0, "G6": 1, "G7": 0}
+    relaxed = {
+        d.fault
+        for d in simulator.simulate(
+            pi_values, ppi_initial, observable_ppos=["G10", "G11", "G13"]
+        )
+    }
+    # Requiring every PPO to keep a specific steady value can only shrink the
+    # set of credited faults.
+    constrained = {
+        d.fault
+        for d in simulator.simulate(
+            pi_values,
+            ppi_initial,
+            observable_ppos=["G10", "G11", "G13"],
+            required_ppo_values={"G10": 0, "G13": 0},
+        )
+    }
+    assert constrained <= relaxed
+
+
+def test_detection_records_observation_point(and_chain):
+    simulator = DelayFaultSimulator(and_chain)
+    detections = simulator.simulate({"a": R, "b": V1, "c": V0}, {})
+    assert detections
+    for detection in detections:
+        assert detection.observation_point == "y"
+        assert not detection.through_ppo
+
+
+def test_incomplete_pattern_is_rejected(and_chain):
+    simulator = DelayFaultSimulator(and_chain)
+    with pytest.raises(ValueError):
+        simulator.simulate({"a": R}, {})

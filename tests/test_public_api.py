@@ -1,0 +1,33 @@
+"""The top-level package exposes the documented public API."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_quickstart_snippet_runs():
+    """The README / module docstring quickstart must work as written."""
+    circuit = repro.load_circuit("s27")
+    atpg = repro.SequentialDelayATPG(circuit)
+    campaign = atpg.run(max_target_faults=2)
+    row = campaign.as_table3_row()
+    assert row["circuit"] == "s27"
+    assert set(row) == {"circuit", "tested", "untestable", "aborted", "patterns", "time_s"}
+
+
+def test_truth_table_rendering_via_public_api():
+    rendered = repro.format_truth_table(repro.GateType.AND)
+    assert "Rc" in rendered and "Fc" in rendered
+
+
+def test_fault_enumeration_via_public_api():
+    circuit = repro.load_circuit("s27")
+    faults = repro.enumerate_delay_faults(circuit)
+    assert len(faults) == 52
