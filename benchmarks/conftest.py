@@ -19,6 +19,13 @@ for path in (str(_SRC), str(_HERE)):
         sys.path.insert(0, path)
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every test in this directory with the ``bench`` marker."""
+    for item in items:
+        if str(item.fspath).startswith(str(_HERE)):
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def campaign_cache():
     """Session-wide cache of campaign results, shared between benchmarks."""

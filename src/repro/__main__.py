@@ -24,6 +24,7 @@ from repro.algebra.tables import format_truth_table
 from repro.core.flow import SequentialDelayATPG
 from repro.core.reporting import format_campaign_table, format_untestable_breakdown
 from repro.data import circuit_spec, list_circuits, load_circuit
+from repro.fausim.backends import available_backends
 
 
 def _add_campaign_parser(subparsers) -> None:
@@ -44,6 +45,12 @@ def _add_campaign_parser(subparsers) -> None:
     )
     parser.add_argument("--non-robust", action="store_true", help="use the non-robust model")
     parser.add_argument("--time-limit", type=float, default=None, help="seconds per circuit")
+    parser.add_argument(
+        "--backend",
+        choices=sorted(available_backends()),
+        default=None,
+        help="good-machine simulation backend (default: reference)",
+    )
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
@@ -59,6 +66,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
             robust=not args.non_robust,
             local_backtrack_limit=args.backtrack_limit,
             sequential_backtrack_limit=args.backtrack_limit,
+            backend=args.backend,
         )
         campaign = atpg.run(
             max_target_faults=args.max_faults if args.max_faults > 0 else None,

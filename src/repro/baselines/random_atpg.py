@@ -19,6 +19,7 @@ from repro.core.clocking import ClockSchedule
 from repro.core.results import TestSequence
 from repro.core.verify import verify_test_sequence
 from repro.faults.model import FaultList, FaultStatus, GateDelayFault, enumerate_delay_faults
+from repro.fausim.backends import resolve_backend
 
 
 @dataclasses.dataclass
@@ -45,14 +46,23 @@ class RandomSequenceATPG:
         sequence_length: total frames per random sequence (initialisation
             frames + the two-pattern test + propagation frames).
         seed: seed of the pseudo-random generator.
+        backend: good-machine simulation backend used for grading (see
+            :mod:`repro.fausim.backends`).
     """
 
-    def __init__(self, circuit: Circuit, sequence_length: int = 8, seed: int = 1) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        sequence_length: int = 8,
+        seed: int = 1,
+        backend: Optional[str] = None,
+    ) -> None:
         if sequence_length < 2:
             raise ValueError("a delay test needs at least two frames")
         self.circuit = circuit
         self.sequence_length = sequence_length
         self.seed = seed
+        self.backend = resolve_backend(backend)
 
     def _random_vector(self, rng: random.Random) -> Dict[str, int]:
         return {pi: rng.randint(0, 1) for pi in self.circuit.primary_inputs}
@@ -107,7 +117,7 @@ class RandomSequenceATPG:
             detected: List[GateDelayFault] = []
             for fault in remaining:
                 candidate = dataclasses.replace(sequence, fault=fault)
-                if verify_test_sequence(self.circuit, candidate).detected:
+                if verify_test_sequence(self.circuit, candidate, backend=self.backend).detected:
                     detected.append(fault)
             fault_list.mark_tested(detected)
 

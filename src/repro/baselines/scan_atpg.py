@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
 from repro.faults.model import FaultList, FaultStatus, GateDelayFault, enumerate_delay_faults
+from repro.fausim.backends import create_simulator, resolve_backend
 from repro.tdgen.engine import TDgen
 from repro.tdgen.result import LocalTestStatus
 
@@ -52,6 +53,22 @@ def scan_model(circuit: Circuit) -> Circuit:
 
 
 @dataclasses.dataclass
+class ScanTestPattern:
+    """One scan-applied two-pattern test with its expected good response.
+
+    ``initial`` / ``final`` are the fully specified vectors at the scan
+    model's inputs (PIs plus scan-loaded state bits); ``expected_response``
+    is the good-machine value of every PO and PPO under ``final`` — the
+    response a tester compares the scanned-out capture against.
+    """
+
+    fault: GateDelayFault
+    initial: Dict[str, int]
+    final: Dict[str, int]
+    expected_response: Dict[str, Optional[int]]
+
+
+@dataclasses.dataclass
 class ScanCampaignResult:
     """Fault counts achieved by the enhanced-scan baseline."""
 
@@ -62,6 +79,7 @@ class ScanCampaignResult:
     aborted: int
     pattern_count: int
     cpu_seconds: float
+    patterns: List[ScanTestPattern] = dataclasses.field(default_factory=list)
 
     @property
     def fault_coverage(self) -> float:
@@ -75,17 +93,52 @@ class ScanCampaignResult:
 
 
 class EnhancedScanATPG:
-    """Run TDgen on the scan model of a sequential circuit."""
+    """Run TDgen on the scan model of a sequential circuit.
+
+    Args:
+        circuit: the (sequential) circuit under test.
+        robust: robust or non-robust delay fault model.
+        backtrack_limit: TDgen abort limit.
+        backend: simulation backend used to compute the expected good
+            responses of the generated patterns (see
+            :mod:`repro.fausim.backends`); the packed backend computes all
+            responses in one bit-parallel pass.
+    """
 
     def __init__(
         self,
         circuit: Circuit,
         robust: bool = True,
         backtrack_limit: int = 100,
+        backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.model = scan_model(circuit)
         self.tdgen = TDgen(self.model, robust=robust, backtrack_limit=backtrack_limit)
+        self.backend = resolve_backend(backend)
+
+    def _expected_responses(
+        self, tests: List[tuple]
+    ) -> List[ScanTestPattern]:
+        """Good-machine PO/PPO response of every successful two-pattern test."""
+        if not tests:
+            return []
+        simulator = create_simulator(self.model, self.backend)
+        finals = [final for _, _, final in tests]
+        if hasattr(simulator, "combinational_batch"):
+            frames = simulator.combinational_batch(finals, [{}] * len(finals))
+        else:
+            frames = [simulator.combinational(final, {}) for final in finals]
+        observed = self.model.primary_outputs
+        return [
+            ScanTestPattern(
+                fault=fault,
+                initial=initial,
+                final=final,
+                expected_response={po: values[po] for po in observed},
+            )
+            for (fault, initial, final), values in zip(tests, frames)
+        ]
 
     def run(
         self,
@@ -101,6 +154,7 @@ class EnhancedScanATPG:
         start = time.perf_counter()
         pattern_count = 0
         targeted = 0
+        successful_tests: List[tuple] = []
 
         if fault_list is not None:
             for fault in usable:
@@ -113,6 +167,14 @@ class EnhancedScanATPG:
                 if result.status is LocalTestStatus.SUCCESS:
                     fault_list.mark_tested([fault])
                     pattern_count += 2
+                    pair = result.vector_pair()
+                    successful_tests.append(
+                        (
+                            fault,
+                            {pi: pair.initial.get(pi, 0) for pi in self.model.primary_inputs},
+                            {pi: pair.final.get(pi, 0) for pi in self.model.primary_inputs},
+                        )
+                    )
                 elif result.status is LocalTestStatus.UNTESTABLE:
                     fault_list.mark(fault, FaultStatus.UNTESTABLE)
                 else:
@@ -129,4 +191,5 @@ class EnhancedScanATPG:
             aborted=counts["aborted"] + counts["untargeted"],
             pattern_count=pattern_count,
             cpu_seconds=time.perf_counter() - start,
+            patterns=self._expected_responses(successful_tests),
         )

@@ -107,6 +107,9 @@ class Circuit:
         self.primary_outputs: List[str] = []
         self._fanout_cache: Optional[Dict[str, List[Tuple[str, int]]]] = None
         self._order_cache: Optional[List[str]] = None
+        # Lowered form used by the packed simulator; owned by
+        # repro.fausim.compile but invalidated with the structural caches.
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -140,6 +143,7 @@ class Circuit:
     def _invalidate(self) -> None:
         self._fanout_cache = None
         self._order_cache = None
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------ #
     # structural views

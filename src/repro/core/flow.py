@@ -42,8 +42,9 @@ from repro.faults.model import (
     GateDelayFault,
     enumerate_delay_faults,
 )
+from repro.fausim.backends import create_simulator, resolve_backend
 from repro.fausim.fault_sim import PropagationFaultSimulator
-from repro.fausim.logic_sim import LogicSimulator, SignalValues
+from repro.fausim.logic_sim import SignalValues
 from repro.semilet.engine import Semilet
 from repro.tdgen.context import TDgenContext
 from repro.tdgen.engine import TDgen
@@ -78,6 +79,10 @@ class SequentialDelayATPG:
             concrete vectors.
         verify_sequences: re-check every generated sequence with the
             independent gross-delay verification before crediting it.
+        backend: good-machine simulation backend (``"reference"`` or
+            ``"packed"``, see :mod:`repro.fausim.backends`); used for the
+            logic simulation, the propagation-phase fault simulation and the
+            sequence verification.
     """
 
     def __init__(
@@ -92,6 +97,7 @@ class SequentialDelayATPG:
         fill_value: int = 0,
         verify_sequences: bool = True,
         enable_fault_simulation: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.robust = robust
@@ -99,6 +105,7 @@ class SequentialDelayATPG:
         self.max_local_retries = max_local_retries
         self.verify_sequences = verify_sequences
         self.enable_fault_simulation = enable_fault_simulation
+        self.backend = resolve_backend(backend)
 
         self.context = TDgenContext(circuit)
         self.tdgen = TDgen(
@@ -114,7 +121,7 @@ class SequentialDelayATPG:
             max_synchronization_frames=max_synchronization_frames,
         )
         self.fault_simulator = DelayFaultSimulator(circuit, robust=robust, context=self.context)
-        self._logic_simulator = LogicSimulator(circuit)
+        self._logic_simulator = create_simulator(circuit, self.backend)
 
     # ------------------------------------------------------------------ #
     # campaign driver
@@ -371,7 +378,7 @@ class SequentialDelayATPG:
             fault, local, synchronization.vectors, propagation_vectors, observation_point
         )
         if self.verify_sequences:
-            report = verify_test_sequence(self.circuit, sequence)
+            report = verify_test_sequence(self.circuit, sequence, backend=self.backend)
             if not report.detected:
                 observed_ppos = {
                     signal
@@ -438,7 +445,9 @@ class SequentialDelayATPG:
         if not local.ppo_fault_effects:
             return False
         good_state, faulty_state = self._post_test_states(local)
-        simulator = PropagationFaultSimulator(self.circuit, propagation_vectors)
+        simulator = PropagationFaultSimulator(
+            self.circuit, propagation_vectors, backend=self.backend
+        )
         for ppo in local.ppo_fault_effects:
             ppi = self.circuit.ppi_of_ppo(ppo)
             observability = simulator.observability(
@@ -517,7 +526,9 @@ class SequentialDelayATPG:
         )
         observability = {}
         if sequence.propagation_vectors:
-            fausim = PropagationFaultSimulator(self.circuit, sequence.propagation_vectors)
+            fausim = PropagationFaultSimulator(
+                self.circuit, sequence.propagation_vectors, backend=self.backend
+            )
             observability = fausim.observability_map(state, self.circuit.pseudo_primary_inputs)
         observable_ppos = [
             self.circuit.ppo_of_ppi(ppi)

@@ -22,7 +22,8 @@ from repro.circuit.levelize import combinational_order
 from repro.circuit.netlist import Circuit, LineKind
 from repro.core.results import TestSequence
 from repro.faults.model import GateDelayFault
-from repro.fausim.logic_sim import LogicSimulator, SignalValues
+from repro.fausim.backends import create_simulator
+from repro.fausim.logic_sim import SignalValues
 
 
 @dataclasses.dataclass
@@ -78,7 +79,11 @@ def _faulty_fast_frame(
     return values
 
 
-def verify_test_sequence(circuit: Circuit, sequence: TestSequence) -> VerificationReport:
+def verify_test_sequence(
+    circuit: Circuit,
+    sequence: TestSequence,
+    backend: Optional[str] = None,
+) -> VerificationReport:
     """Replay a test sequence and check that the gross delay fault is caught.
 
     Both machines start in the all-unknown state, the initialisation and
@@ -86,8 +91,12 @@ def verify_test_sequence(circuit: Circuit, sequence: TestSequence) -> Verificati
     frame of the faulty machine freezes the faulted line at its value from the
     previous frame.  Detection requires a primary output where the good value
     is binary and provably differs from the faulty value.
+
+    ``backend`` selects the good-machine simulator (see
+    :mod:`repro.fausim.backends`); the faulty fast frame always uses the
+    independent scalar replay so the verification stays a second opinion.
     """
-    simulator = LogicSimulator(circuit)
+    simulator = create_simulator(circuit, backend)
     order = combinational_order(circuit)
     fault = sequence.fault
     fast_index = sequence.clock_schedule.fast_frame_index

@@ -27,6 +27,7 @@ benchmarks for the code paths the paper exercises:
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Optional
 
 from repro.circuit.gates import GateType
@@ -81,7 +82,10 @@ def generate_surrogate(
     if n_inputs < 1 or n_outputs < 1 or n_flip_flops < 0 or n_gates < 1:
         raise ValueError("surrogate statistics must be positive")
 
-    rng = random.Random((hash(name) & 0xFFFF) ^ (seed * 0x9E3779B1) ^ 0xC0FFEE)
+    # zlib.crc32 rather than hash(): str hashing is randomised per process
+    # (PYTHONHASHSEED), which would make "deterministic" surrogates differ
+    # between runs.
+    rng = random.Random((zlib.crc32(name.encode("utf-8")) & 0xFFFF) ^ (seed * 0x9E3779B1) ^ 0xC0FFEE)
     circuit = Circuit(name)
 
     inputs = [f"I{i}" for i in range(n_inputs)]

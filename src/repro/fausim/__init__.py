@@ -11,6 +11,10 @@ the first two:
 
 The third phase (delay fault critical path tracing in the fast frame) lives in
 :mod:`repro.tdsim`.
+
+Good-machine simulation is available through two interchangeable backends
+(see :mod:`repro.fausim.backends`): the ``reference`` per-gate interpreter
+and the compiled bit-parallel ``packed`` evaluator.
 """
 
 from repro.fausim.logic_sim import (
@@ -20,12 +24,31 @@ from repro.fausim.logic_sim import (
     SequenceResult,
 )
 from repro.fausim.fault_sim import PropagationFaultSimulator, PPOObservability
+from repro.fausim.backends import (
+    available_backends,
+    create_simulator,
+    default_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.fausim.compile import CompiledCircuit, compile_circuit
+from repro.fausim.packed_sim import PackedLogicSimulator
 
 __all__ = [
     "LogicSimulator",
+    "PackedLogicSimulator",
+    "CompiledCircuit",
+    "compile_circuit",
     "simulate_combinational",
     "simulate_sequence",
     "SequenceResult",
     "PropagationFaultSimulator",
     "PPOObservability",
+    "available_backends",
+    "create_simulator",
+    "default_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
 ]

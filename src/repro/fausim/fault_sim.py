@@ -11,6 +11,12 @@ by the good machine dynamics.
 faulty machine that differs only in the initial value of the candidate PPO,
 and reports in which frame (if any) the difference becomes visible at a
 primary output.
+
+With ``backend="packed"`` the many-candidate query
+(:meth:`PropagationFaultSimulator.observability_map`) packs one faulty
+machine per pattern slot, so all candidate state bits are fault simulated in
+one bit-parallel pass per frame instead of one full sequential simulation per
+candidate.
 """
 
 from __future__ import annotations
@@ -19,7 +25,9 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from repro.circuit.netlist import Circuit
-from repro.fausim.logic_sim import LogicSimulator, SignalValues
+from repro.fausim.backends import create_simulator
+from repro.fausim.logic_sim import SignalValues
+from repro.fausim.packed_sim import PackedLogicSimulator, PackedPlanes, pack_column
 
 
 @dataclasses.dataclass
@@ -42,12 +50,19 @@ class PropagationFaultSimulator:
         circuit: the circuit under test.
         propagation_vectors: the input vectors of the propagation phase (slow
             clock frames after the fast test frame).
+        backend: simulation backend name (see :mod:`repro.fausim.backends`);
+            ``None`` selects the process default.
     """
 
-    def __init__(self, circuit: Circuit, propagation_vectors: Sequence[SignalValues]) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        propagation_vectors: Sequence[SignalValues],
+        backend: Optional[str] = None,
+    ) -> None:
         self.circuit = circuit
         self.vectors = list(propagation_vectors)
-        self._simulator = LogicSimulator(circuit)
+        self._simulator = create_simulator(circuit, backend)
 
     def observability(
         self,
@@ -101,8 +116,112 @@ class PropagationFaultSimulator:
         good_state: SignalValues,
         candidate_ppis: Sequence[str],
     ) -> Dict[str, PPOObservability]:
-        """Observability of every candidate PPI under the stored vectors."""
+        """Observability of every candidate PPI under the stored vectors.
+
+        With the packed backend all candidates share one bit-parallel faulty
+        machine simulation (one pattern slot per candidate); the result is
+        bit-exact with running :meth:`observability` per candidate.
+        """
+        if isinstance(self._simulator, PackedLogicSimulator) and len(candidate_ppis) > 1:
+            return self._observability_map_packed(good_state, candidate_ppis)
         return {ppi: self.observability(good_state, ppi) for ppi in candidate_ppis}
+
+    def _observability_map_packed(
+        self,
+        good_state: SignalValues,
+        candidate_ppis: Sequence[str],
+    ) -> Dict[str, PPOObservability]:
+        """One faulty machine per pattern slot, all frames bit-parallel."""
+        results: Dict[str, PPOObservability] = {}
+        slots: List[str] = []
+        for ppi in candidate_ppis:
+            if good_state.get(ppi) is None:
+                # An unknown good value can never be credited (the default
+                # faulty value is the complement of the good one).
+                results[ppi] = PPOObservability(ppi=ppi, observable=False)
+            else:
+                slots.append(ppi)
+        if not slots:
+            return results
+
+        simulator = self._simulator
+        ppis = self.circuit.pseudo_primary_inputs
+        width = len(slots)
+        # The good machine occupies one extra slot, so chunk one below the
+        # word width to keep every plane on single-word integers.
+        chunk_width = max(1, simulator.word_bits - 1)
+        if width > chunk_width:
+            for start in range(0, width, chunk_width):
+                results.update(
+                    self._observability_map_packed(good_state, slots[start : start + chunk_width])
+                )
+            return results
+
+        # The good machine rides in pattern slot 0 of the same planes, so one
+        # evaluation pass per frame simulates it together with all faulty
+        # machines; faulty machine j (good state with its candidate bit
+        # flipped) occupies slot j + 1.
+        total_width = width + 1
+        state_zero: List[int] = []
+        state_one: List[int] = []
+        for ppi in ppis:
+            good_value = good_state.get(ppi)
+            column = [good_value]
+            for slot_ppi in slots:
+                if ppi == slot_ppi:
+                    column.append(1 - good_value if good_value is not None else None)
+                else:
+                    column.append(good_value)
+            zero, one = pack_column(column)
+            state_zero.append(zero)
+            state_one.append(one)
+
+        observed_mask = 0
+        all_mask = ((1 << width) - 1) << 1
+        compiled = simulator.compiled
+        for frame_index, vector in enumerate(self.vectors):
+            zero = [0] * compiled.num_signals
+            one = [0] * compiled.num_signals
+            broadcast = (1 << total_width) - 1
+            for slot, name in zip(compiled.pi_slots, self.circuit.primary_inputs):
+                value = vector.get(name)
+                if value == 0:
+                    zero[slot] = broadcast
+                elif value == 1:
+                    one[slot] = broadcast
+            for position, slot in enumerate(compiled.ppi_slots):
+                zero[slot] = state_zero[position]
+                one[slot] = state_one[position]
+            planes = PackedPlanes(zero=zero, one=one, width=total_width)
+            simulator.evaluate_planes(planes)
+
+            for po in self.circuit.primary_outputs:
+                po_slot = compiled.slot_of[po]
+                # A provable difference needs a binary faulty value on the
+                # opposite plane of the binary good value (slot 0).
+                if planes.one[po_slot] & 1:
+                    diff = planes.zero[po_slot]
+                elif planes.zero[po_slot] & 1:
+                    diff = planes.one[po_slot]
+                else:
+                    continue
+                fresh = diff & all_mask & ~observed_mask
+                if not fresh:
+                    continue
+                for index, ppi in enumerate(slots):
+                    if fresh & (1 << (index + 1)):
+                        results[ppi] = PPOObservability(
+                            ppi=ppi, observable=True, frame=frame_index, primary_output=po
+                        )
+                observed_mask |= fresh
+            if observed_mask == all_mask:
+                break
+
+            state_zero, state_one = simulator.next_state_planes(planes)
+
+        for ppi in slots:
+            results.setdefault(ppi, PPOObservability(ppi=ppi, observable=False))
+        return results
 
     def state_trace(self, state: SignalValues) -> List[SignalValues]:
         """Good-machine state after each propagation frame (for diagnostics)."""

@@ -106,22 +106,28 @@ def simulate_combinational(
     circuit: Circuit,
     pi_values: SignalValues,
     state: Optional[SignalValues] = None,
+    backend: Optional[str] = None,
 ) -> SignalValues:
     """One-shot combinational evaluation (convenience wrapper)."""
-    return LogicSimulator(circuit).combinational(pi_values, state or {})
+    from repro.fausim.backends import create_simulator
+
+    return create_simulator(circuit, backend).combinational(pi_values, state or {})
 
 
 def simulate_sequence(
     circuit: Circuit,
     vectors: Sequence[SignalValues],
     initial_state: Optional[SignalValues] = None,
+    backend: Optional[str] = None,
 ) -> SequenceResult:
     """Simulate an input vector sequence starting from ``initial_state``.
 
     Missing state entries and missing primary input values are X.  Returns the
     per-frame values and the state after the last vector.
     """
-    simulator = LogicSimulator(circuit)
+    from repro.fausim.backends import create_simulator
+
+    simulator = create_simulator(circuit, backend)
     state: SignalValues = dict(initial_state or {})
     frames: List[FrameResult] = []
     for vector in vectors:

@@ -1,0 +1,396 @@
+"""Bit-parallel three-valued logic simulation over the compiled circuit.
+
+Every signal is represented by two bit planes (the standard two-plane
+{0, 1, X} encoding): bit ``j`` of ``zero`` is set when pattern ``j`` carries a
+hard 0, bit ``j`` of ``one`` when it carries a hard 1, and a clear bit in both
+planes encodes the unknown value X.  One pass over the gate program therefore
+simulates one machine word worth of patterns (64 by default) at once, and all
+gate evaluations reduce to a handful of bitwise operations:
+
+=========  =============================================================
+AND        ``one = AND(one_i)``, ``zero = OR(zero_i)``
+OR         ``one = OR(one_i)``, ``zero = AND(zero_i)``
+NOT        swap the planes
+XOR        parity of the ``one`` planes, masked to the patterns where
+           every input is known
+=========  =============================================================
+
+These identities implement exactly the pessimistic three-valued semantics of
+:func:`repro.circuit.gates.evaluate_gate` — a controlling value forces the
+output even when other inputs are X, otherwise any X input makes the output X
+— which the differential harness in ``tests/fausim`` verifies signal for
+signal against the reference interpreter.
+
+:class:`PackedLogicSimulator` also implements the scalar
+:class:`~repro.fausim.logic_sim.LogicSimulator` interface (``combinational`` /
+``clock`` / ``next_state`` / ``outputs``) so the two backends are drop-in
+interchangeable behind :mod:`repro.fausim.backends`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.fausim.compile import (
+    OP_AND,
+    OP_BUF,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    CompiledCircuit,
+    compile_circuit,
+)
+from repro.fausim.logic_sim import FrameResult, SequenceResult, SignalValues
+
+#: Patterns simulated per machine word; batches are chunked at this width so
+#: every bitwise operation stays on single-word integers.
+WORD_BITS = 64
+
+
+@dataclasses.dataclass
+class PackedPlanes:
+    """Bit planes of every signal for one chunk of patterns.
+
+    ``zero[slot]`` / ``one[slot]`` hold the 0-plane and 1-plane of the signal
+    in that slot (see :class:`~repro.fausim.compile.CompiledCircuit` for the
+    slot layout); ``width`` is the number of valid pattern bits.
+    """
+
+    zero: List[int]
+    one: List[int]
+    width: int
+
+    def value(self, slot: int, pattern: int) -> Optional[int]:
+        """Scalar value of one signal for one pattern (``None`` encodes X)."""
+        bit = 1 << pattern
+        if self.one[slot] & bit:
+            return 1
+        if self.zero[slot] & bit:
+            return 0
+        return None
+
+
+def pack_column(values: Sequence[Optional[int]]) -> Tuple[int, int]:
+    """Pack one signal's value across patterns into ``(zero, one)`` planes."""
+    zero = 0
+    one = 0
+    for pattern, value in enumerate(values):
+        if value == 0:
+            zero |= 1 << pattern
+        elif value == 1:
+            one |= 1 << pattern
+    return zero, one
+
+
+class PackedLogicSimulator:
+    """Word-packed three-valued simulator bound to one compiled circuit.
+
+    The batch entry points (:meth:`combinational_batch`, :meth:`clock_batch`,
+    :meth:`sequence_batch`) simulate up to ``word_bits`` patterns per pass and
+    transparently chunk larger batches.  The scalar entry points mirror
+    :class:`~repro.fausim.logic_sim.LogicSimulator` exactly and run as a
+    batch of one.
+    """
+
+    def __init__(self, circuit: Circuit, word_bits: int = WORD_BITS) -> None:
+        if word_bits < 1:
+            raise ValueError("word_bits must be positive")
+        self.circuit = circuit
+        self.word_bits = word_bits
+        self.compiled: CompiledCircuit = compile_circuit(circuit)
+
+    # ------------------------------------------------------------------ #
+    # packed core
+    # ------------------------------------------------------------------ #
+    def evaluate_planes(self, planes: PackedPlanes) -> None:
+        """Run the gate program in place on pre-loaded source planes.
+
+        ``planes`` must carry the PI and PPI planes; every gate output plane
+        is (re)computed.  This is the single hot loop of the backend.
+        """
+        zero = planes.zero
+        one = planes.one
+        mask = (1 << planes.width) - 1
+        compiled = self.compiled
+        fanin_flat = compiled.fanin_flat
+        offsets = compiled.fanin_offsets
+        outputs = compiled.outputs
+        for index, op in enumerate(compiled.ops):
+            start = offsets[index]
+            end = offsets[index + 1]
+            first = fanin_flat[start]
+            if op <= OP_NAND:  # AND / NAND
+                acc_one = one[first]
+                acc_zero = zero[first]
+                for position in range(start + 1, end):
+                    slot = fanin_flat[position]
+                    acc_one &= one[slot]
+                    acc_zero |= zero[slot]
+                if op == OP_NAND:
+                    acc_zero, acc_one = acc_one, acc_zero
+            elif op <= OP_NOR:  # OR / NOR
+                acc_one = one[first]
+                acc_zero = zero[first]
+                for position in range(start + 1, end):
+                    slot = fanin_flat[position]
+                    acc_one |= one[slot]
+                    acc_zero &= zero[slot]
+                if op == OP_NOR:
+                    acc_zero, acc_one = acc_one, acc_zero
+            elif op == OP_NOT:
+                acc_zero = one[first]
+                acc_one = zero[first]
+            elif op == OP_BUF:
+                acc_zero = zero[first]
+                acc_one = one[first]
+            else:  # XOR / XNOR
+                parity = one[first]
+                known = zero[first] | one[first]
+                for position in range(start + 1, end):
+                    slot = fanin_flat[position]
+                    parity ^= one[slot]
+                    known &= zero[slot] | one[slot]
+                acc_one = parity & known
+                acc_zero = ~parity & known & mask
+                if op == OP_XNOR:
+                    acc_zero, acc_one = acc_one, acc_zero
+            out = outputs[index]
+            zero[out] = acc_zero
+            one[out] = acc_one
+
+    def load_planes(
+        self,
+        pi_vectors: Sequence[SignalValues],
+        states: Sequence[SignalValues],
+    ) -> PackedPlanes:
+        """Pack one chunk of (PI vector, state) pairs into source planes.
+
+        Missing entries default to X, matching the reference simulator.
+        """
+        width = len(pi_vectors)
+        if width > self.word_bits:
+            raise ValueError(f"chunk of {width} patterns exceeds word width {self.word_bits}")
+        compiled = self.compiled
+        zero = [0] * compiled.num_signals
+        one = [0] * compiled.num_signals
+        for slot, name in zip(compiled.pi_slots, self.circuit.primary_inputs):
+            zero[slot], one[slot] = pack_column([vector.get(name) for vector in pi_vectors])
+        for slot, name in zip(compiled.ppi_slots, self.circuit.pseudo_primary_inputs):
+            zero[slot], one[slot] = pack_column([state.get(name) for state in states])
+        return PackedPlanes(zero=zero, one=one, width=width)
+
+    def unpack(self, planes: PackedPlanes) -> List[SignalValues]:
+        """Expand evaluated planes back into one value dict per pattern."""
+        names = self.compiled.signal_names
+        results: List[SignalValues] = []
+        for pattern in range(planes.width):
+            bit = 1 << pattern
+            values: SignalValues = {}
+            for slot, name in enumerate(names):
+                if planes.one[slot] & bit:
+                    values[name] = 1
+                elif planes.zero[slot] & bit:
+                    values[name] = 0
+                else:
+                    values[name] = None
+            results.append(values)
+        return results
+
+    def next_state_planes(self, planes: PackedPlanes) -> Tuple[List[int], List[int]]:
+        """Planes the flip-flops latch at the end of a frame (per PPI)."""
+        compiled = self.compiled
+        zero = [planes.zero[slot] for slot in compiled.dff_data_slots]
+        one = [planes.one[slot] for slot in compiled.dff_data_slots]
+        return zero, one
+
+    # ------------------------------------------------------------------ #
+    # batch interface
+    # ------------------------------------------------------------------ #
+    def combinational_batch(
+        self,
+        pi_vectors: Sequence[SignalValues],
+        states: Optional[Sequence[SignalValues]] = None,
+    ) -> List[SignalValues]:
+        """Evaluate one frame for a batch of patterns.
+
+        Args:
+            pi_vectors: one primary-input assignment per pattern.
+            states: one PPI state per pattern (defaults to all-X states).
+
+        Returns:
+            One full value dict per pattern, bit-exact with the reference
+            :meth:`~repro.fausim.logic_sim.LogicSimulator.combinational`.
+        """
+        states = self._default_states(pi_vectors, states)
+        results: List[SignalValues] = []
+        for start in range(0, len(pi_vectors), self.word_bits):
+            chunk = slice(start, start + self.word_bits)
+            planes = self.load_planes(pi_vectors[chunk], states[chunk])
+            self.evaluate_planes(planes)
+            results.extend(self.unpack(planes))
+        return results
+
+    def clock_batch(
+        self,
+        pi_vectors: Sequence[SignalValues],
+        states: Optional[Sequence[SignalValues]] = None,
+    ) -> List[FrameResult]:
+        """Simulate one clock cycle for a batch of patterns."""
+        states = self._default_states(pi_vectors, states)
+        ppis = self.circuit.pseudo_primary_inputs
+        frames: List[FrameResult] = []
+        for start in range(0, len(pi_vectors), self.word_bits):
+            chunk = slice(start, start + self.word_bits)
+            planes = self.load_planes(pi_vectors[chunk], states[chunk])
+            self.evaluate_planes(planes)
+            next_zero, next_one = self.next_state_planes(planes)
+            for pattern, values in enumerate(self.unpack(planes)):
+                bit = 1 << pattern
+                next_state: SignalValues = {}
+                for position, ppi in enumerate(ppis):
+                    if next_one[position] & bit:
+                        next_state[ppi] = 1
+                    elif next_zero[position] & bit:
+                        next_state[ppi] = 0
+                    else:
+                        next_state[ppi] = None
+                frames.append(FrameResult(values=values, next_state=next_state))
+        return frames
+
+    def sequence_batch(
+        self,
+        vector_sequences: Sequence[Sequence[SignalValues]],
+        initial_states: Optional[Sequence[SignalValues]] = None,
+        observe: Optional[Sequence[str]] = None,
+    ) -> List[SequenceResult]:
+        """Simulate a batch of equally long input sequences in lockstep.
+
+        Pattern ``j`` of every frame pass is sequence ``j``; the per-sequence
+        state is carried between frames *inside* the bit planes (it is never
+        unpacked), so a batch of ``N`` sequences costs ``ceil(N / word_bits)``
+        evaluation passes per frame instead of ``N``.
+
+        Args:
+            vector_sequences: one input-vector sequence per pattern; all
+                sequences must have the same length.
+            initial_states: one initial PPI state per sequence (default all-X).
+            observe: signal names to report in each frame's ``values``;
+                ``None`` reports every signal (bit-exact drop-in for the
+                reference :func:`~repro.fausim.logic_sim.simulate_sequence`).
+                Restricting observation to the primary outputs skips most of
+                the unpacking cost.
+        """
+        if not vector_sequences:
+            return []
+        length = len(vector_sequences[0])
+        if any(len(sequence) != length for sequence in vector_sequences):
+            raise ValueError("all sequences in a batch must have the same length")
+        states = list(initial_states) if initial_states is not None else [
+            {} for _ in vector_sequences
+        ]
+        if len(states) != len(vector_sequences):
+            raise ValueError("need one initial state per sequence")
+        if length == 0:
+            return [
+                SequenceResult(frames=[], final_state=dict(state)) for state in states
+            ]
+
+        compiled = self.compiled
+        ppis = self.circuit.pseudo_primary_inputs
+        observed = (
+            list(compiled.signal_names)
+            if observe is None
+            else [name for name in observe]
+        )
+        observed_slots = [compiled.slot_of[name] for name in observed]
+
+        results: List[SequenceResult] = []
+        for chunk_start in range(0, len(vector_sequences), self.word_bits):
+            chunk = vector_sequences[chunk_start : chunk_start + self.word_bits]
+            width = len(chunk)
+            state_zero: List[int] = []
+            state_one: List[int] = []
+            for ppi in ppis:
+                zero, one = pack_column(
+                    [states[chunk_start + pattern].get(ppi) for pattern in range(width)]
+                )
+                state_zero.append(zero)
+                state_one.append(one)
+
+            per_sequence_frames: List[List[FrameResult]] = [[] for _ in range(width)]
+            for frame_index in range(length):
+                vectors = [sequence[frame_index] for sequence in chunk]
+                zero = [0] * compiled.num_signals
+                one = [0] * compiled.num_signals
+                for slot, name in zip(compiled.pi_slots, self.circuit.primary_inputs):
+                    zero[slot], one[slot] = pack_column(
+                        [vector.get(name) for vector in vectors]
+                    )
+                for position, slot in enumerate(compiled.ppi_slots):
+                    zero[slot] = state_zero[position]
+                    one[slot] = state_one[position]
+                planes = PackedPlanes(zero=zero, one=one, width=width)
+                self.evaluate_planes(planes)
+                state_zero, state_one = self.next_state_planes(planes)
+
+                for pattern in range(width):
+                    bit = 1 << pattern
+                    values: SignalValues = {}
+                    for slot, name in zip(observed_slots, observed):
+                        if one[slot] & bit:
+                            values[name] = 1
+                        elif zero[slot] & bit:
+                            values[name] = 0
+                        else:
+                            values[name] = None
+                    next_state: SignalValues = {}
+                    for position, ppi in enumerate(ppis):
+                        if state_one[position] & bit:
+                            next_state[ppi] = 1
+                        elif state_zero[position] & bit:
+                            next_state[ppi] = 0
+                        else:
+                            next_state[ppi] = None
+                    per_sequence_frames[pattern].append(
+                        FrameResult(values=values, next_state=next_state)
+                    )
+            results.extend(
+                SequenceResult(frames=frames, final_state=dict(frames[-1].next_state))
+                for frames in per_sequence_frames
+            )
+        return results
+
+    def _default_states(
+        self,
+        pi_vectors: Sequence[SignalValues],
+        states: Optional[Sequence[SignalValues]],
+    ) -> Sequence[SignalValues]:
+        if states is None:
+            return [{}] * len(pi_vectors)
+        if len(states) != len(pi_vectors):
+            raise ValueError("need one state per primary-input vector")
+        return states
+
+    # ------------------------------------------------------------------ #
+    # scalar interface (LogicSimulator drop-in)
+    # ------------------------------------------------------------------ #
+    def combinational(self, pi_values: SignalValues, state: SignalValues) -> SignalValues:
+        """Scalar frame evaluation (batch of one)."""
+        return self.combinational_batch([pi_values], [state])[0]
+
+    def next_state(self, frame_values: SignalValues) -> SignalValues:
+        """Extract the state that the flip-flops latch at the end of a frame."""
+        return {dff.name: frame_values[dff.fanin[0]] for dff in self.circuit.flip_flops}
+
+    def clock(self, pi_values: SignalValues, state: SignalValues) -> FrameResult:
+        """Scalar clock cycle (batch of one)."""
+        return self.clock_batch([pi_values], [state])[0]
+
+    def outputs(self, frame_values: SignalValues) -> SignalValues:
+        """Project the frame values onto the primary outputs."""
+        return {po: frame_values[po] for po in self.circuit.primary_outputs}

@@ -52,6 +52,35 @@ def test_enhanced_scan_pattern_accounting(s27):
     assert result.tested + result.untestable + result.aborted == result.total_faults
 
 
+@pytest.mark.parametrize("backend", ["reference", "packed"])
+def test_enhanced_scan_expected_responses(s27, backend):
+    """Every tested fault yields a pattern whose response is the good value."""
+    from repro.fausim.logic_sim import LogicSimulator
+
+    atpg = EnhancedScanATPG(s27, backend=backend)
+    result = atpg.run(max_target_faults=10)
+    assert len(result.patterns) == result.tested
+    oracle = LogicSimulator(atpg.model)
+    for pattern in result.patterns:
+        # Fully specified vectors over the scan model's inputs.
+        assert set(pattern.initial) == set(atpg.model.primary_inputs)
+        assert set(pattern.final) == set(atpg.model.primary_inputs)
+        assert set(pattern.expected_response) == set(atpg.model.primary_outputs)
+        # The recorded response is the reference good-machine value of v2.
+        values = oracle.combinational(pattern.final, {})
+        for po, expected in pattern.expected_response.items():
+            assert expected == values[po]
+
+
+def test_enhanced_scan_backends_agree(s27):
+    reference = EnhancedScanATPG(s27, backend="reference").run(max_target_faults=8)
+    packed = EnhancedScanATPG(s27, backend="packed").run(max_target_faults=8)
+    assert reference.tested == packed.tested
+    assert [p.expected_response for p in reference.patterns] == [
+        p.expected_response for p in packed.patterns
+    ]
+
+
 # --------------------------------------------------------------------------- #
 # random baseline
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,122 @@
+"""End-to-end coverage of the ``python -m repro`` command line interface.
+
+Each subcommand is exercised the way a user would run it, on the embedded
+s27 benchmark so the tests stay fast.  One test goes through a real
+subprocess to cover the ``python -m repro`` entry point itself; the rest
+call :func:`repro.__main__.main` in-process and inspect stdout.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.data import list_circuits
+from repro.data.s27 import S27_BENCH
+
+
+def run_cli(capsys, *argv):
+    """Run the CLI in-process and return (exit_code, stdout)."""
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_circuits_lists_registry(capsys):
+    code, out = run_cli(capsys, "circuits")
+    assert code == 0
+    assert "s27" in out and "s1238" in out
+    assert "embedded" in out and "surrogate" in out
+    # One header plus one row per registered circuit.
+    assert len(out.strip().splitlines()) == 1 + len(list_circuits())
+
+
+def test_tables_prints_algebra(capsys):
+    code, out = run_cli(capsys, "tables")
+    assert code == 0
+    assert "Table 1" in out and "Table 2" in out
+    # The eight-valued algebra symbols appear in the rendered tables.
+    for symbol in ("R", "F", "0h", "1h", "Rc", "Fc"):
+        assert symbol in out
+
+
+def test_campaign_on_s27(capsys):
+    code, out = run_cli(capsys, "campaign", "--circuits", "s27")
+    assert code == 0
+    assert "s27" in out
+    assert "tested" in out and "untstbl" in out
+    assert "comb.untestable" in out
+
+
+def _without_timings(report: str) -> str:
+    """Drop the wall-clock column, the only backend-dependent output."""
+    lines = []
+    for line in report.splitlines():
+        fields = line.split()
+        if fields and "." in fields[-1] and fields[-1].replace(".", "").isdigit():
+            fields = fields[:-1]
+        lines.append(" ".join(fields))
+    return "\n".join(lines)
+
+
+def test_campaign_packed_backend_matches_reference(capsys):
+    code, reference_out = run_cli(capsys, "campaign", "--circuits", "s27")
+    assert code == 0
+    code, packed_out = run_cli(capsys, "campaign", "--circuits", "s27", "--backend", "packed")
+    assert code == 0
+    assert _without_timings(packed_out) == _without_timings(reference_out)
+
+
+def test_campaign_with_max_faults_and_options(capsys):
+    code, out = run_cli(
+        capsys,
+        "campaign",
+        "--circuits",
+        "s27",
+        "--max-faults",
+        "5",
+        "--non-robust",
+        "--backtrack-limit",
+        "50",
+    )
+    assert code == 0
+    assert "s27" in out
+
+
+def test_campaign_from_bench_file(tmp_path, capsys):
+    bench = tmp_path / "mini.bench"
+    bench.write_text(S27_BENCH)
+    code, out = run_cli(capsys, "campaign", "--circuits", str(bench))
+    assert code == 0
+    assert "mini" in out
+
+
+def test_unknown_circuit_raises():
+    with pytest.raises(KeyError):
+        main(["campaign", "--circuits", "s9999"])
+
+
+def test_rejects_unknown_backend(capsys):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--circuits", "s27", "--backend", "warp-drive"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_module_entry_point_subprocess():
+    repo_root = Path(__file__).resolve().parents[1]
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "circuits"],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+        env={"PYTHONPATH": str(repo_root / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0
+    assert "s27" in result.stdout
