@@ -64,11 +64,13 @@ from repro.tdsim import DelayFaultSimulator
 from repro.core import (
     CampaignResult,
     ClockSchedule,
+    FaultGrade,
     FaultResult,
     FaultResultStatus,
     SequentialDelayATPG,
     TestSequence,
     format_campaign_table,
+    grade_test_sequence,
     verify_test_sequence,
 )
 from repro.data import list_circuits, load_circuit, circuit_spec
@@ -117,6 +119,8 @@ __all__ = [
     "TestSequence",
     "format_campaign_table",
     "verify_test_sequence",
+    "grade_test_sequence",
+    "FaultGrade",
     "list_circuits",
     "load_circuit",
     "circuit_spec",

@@ -49,7 +49,11 @@ def _add_campaign_parser(subparsers) -> None:
         "--backend",
         choices=sorted(available_backends()),
         default=None,
-        help="good-machine simulation backend (default: reference)",
+        help=(
+            "good-machine simulation backend (default: packed, the compiled "
+            "bit-parallel evaluator; pass 'reference' for the per-gate "
+            "interpreter oracle)"
+        ),
     )
 
 
@@ -101,6 +105,7 @@ def _run_circuits(_: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro``; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro", description="Gate delay fault ATPG for non-scan sequential circuits"
     )

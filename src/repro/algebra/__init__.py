@@ -56,6 +56,11 @@ from repro.algebra.sets import (
     evaluate_gate_sets,
     backward_input_sets,
 )
+from repro.algebra.packed import (
+    evaluate_packed_delay_gate,
+    pack_delay_values,
+    unpack_delay_values,
+)
 
 __all__ = [
     "DelayValue",
@@ -86,4 +91,7 @@ __all__ = [
     "set_of",
     "evaluate_gate_sets",
     "backward_input_sets",
+    "evaluate_packed_delay_gate",
+    "pack_delay_values",
+    "unpack_delay_values",
 ]

@@ -58,10 +58,12 @@ class DelayValue:
 
     @property
     def is_rising(self) -> bool:
+        """True for the rising transitions ``R`` and ``Rc``."""
         return self.initial == 0 and self.final == 1
 
     @property
     def is_falling(self) -> bool:
+        """True for the falling transitions ``F`` and ``Fc``."""
         return self.initial == 1 and self.final == 0
 
     @property

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.circuit.netlist import Circuit
 from repro.core.clocking import ClockSchedule
 from repro.core.results import TestSequence
-from repro.core.verify import verify_test_sequence
+from repro.core.verify import grade_test_sequence
 from repro.faults.model import FaultList, FaultStatus, GateDelayFault, enumerate_delay_faults
 from repro.fausim.backends import resolve_backend
 
@@ -35,6 +35,7 @@ class RandomCampaignResult:
 
     @property
     def fault_coverage(self) -> float:
+        """Fraction of the fault universe the random sequences detected."""
         return self.detected / self.total_faults if self.total_faults else 0.0
 
 
@@ -114,11 +115,15 @@ class RandomSequenceATPG:
             sequence = self._random_sequence(rng, template_fault)
             sequences_applied += 1
             pattern_count += sequence.pattern_count
-            detected: List[GateDelayFault] = []
-            for fault in remaining:
-                candidate = dataclasses.replace(sequence, fault=fault)
-                if verify_test_sequence(self.circuit, candidate, backend=self.backend).detected:
-                    detected.append(fault)
+            # One fault-parallel sweep grades the sequence against every
+            # still-undetected fault (packed backend: 63 faulty machines per
+            # word next to the shared good machine).
+            grades = grade_test_sequence(
+                self.circuit, sequence, remaining, backend=self.backend
+            )
+            detected: List[GateDelayFault] = [
+                grade.fault for grade in grades if grade.detected
+            ]
             fault_list.mark_tested(detected)
 
         counts = fault_list.counts()

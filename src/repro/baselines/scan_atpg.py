@@ -83,10 +83,12 @@ class ScanCampaignResult:
 
     @property
     def fault_coverage(self) -> float:
+        """Fraction of the fault universe the scan tests detected."""
         return self.tested / self.total_faults if self.total_faults else 0.0
 
     @property
     def fault_efficiency(self) -> float:
+        """Fraction of faults with a definite verdict (tested or untestable)."""
         if self.total_faults == 0:
             return 0.0
         return (self.tested + self.untestable) / self.total_faults

@@ -54,27 +54,35 @@ class CircuitBuilder:
         return output
 
     def and_(self, output: str, fanin: Sequence[str]) -> str:
+        """Add an AND gate driving ``output``."""
         return self.gate(GateType.AND, output, fanin)
 
     def nand(self, output: str, fanin: Sequence[str]) -> str:
+        """Add a NAND gate driving ``output``."""
         return self.gate(GateType.NAND, output, fanin)
 
     def or_(self, output: str, fanin: Sequence[str]) -> str:
+        """Add an OR gate driving ``output``."""
         return self.gate(GateType.OR, output, fanin)
 
     def nor(self, output: str, fanin: Sequence[str]) -> str:
+        """Add a NOR gate driving ``output``."""
         return self.gate(GateType.NOR, output, fanin)
 
     def xor(self, output: str, fanin: Sequence[str]) -> str:
+        """Add an XOR gate driving ``output``."""
         return self.gate(GateType.XOR, output, fanin)
 
     def xnor(self, output: str, fanin: Sequence[str]) -> str:
+        """Add an XNOR gate driving ``output``."""
         return self.gate(GateType.XNOR, output, fanin)
 
     def not_(self, output: str, source: str) -> str:
+        """Add an inverter driving ``output`` from ``source``."""
         return self.gate(GateType.NOT, output, [source])
 
     def buf(self, output: str, source: str) -> str:
+        """Add a buffer driving ``output`` from ``source``."""
         return self.gate(GateType.BUF, output, [source])
 
     # -- sinks -----------------------------------------------------------
@@ -84,6 +92,7 @@ class CircuitBuilder:
         return name
 
     def outputs(self, names: Iterable[str]) -> List[str]:
+        """Mark several signals as primary outputs."""
         return [self.output(name) for name in names]
 
     # -- finalisation ----------------------------------------------------

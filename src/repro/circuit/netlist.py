@@ -52,10 +52,12 @@ class Line:
 
     @property
     def is_stem(self) -> bool:
+        """True for signal-stem lines."""
         return self.kind is LineKind.STEM
 
     @property
     def is_branch(self) -> bool:
+        """True for fanout-branch lines."""
         return self.kind is LineKind.BRANCH
 
 
@@ -78,10 +80,12 @@ class Gate:
 
     @property
     def is_dff(self) -> bool:
+        """True for D flip-flops."""
         return self.gate_type is GateType.DFF
 
     @property
     def is_input(self) -> bool:
+        """True for primary-input marker cells."""
         return self.gate_type is GateType.INPUT
 
     def __repr__(self) -> str:
@@ -178,15 +182,19 @@ class Circuit:
         return self.gates[name]
 
     def is_primary_input(self, signal: str) -> bool:
+        """True if ``signal`` is a primary input."""
         return self.gates[signal].is_input
 
     def is_pseudo_primary_input(self, signal: str) -> bool:
+        """True if ``signal`` is a flip-flop output (PPI)."""
         return self.gates[signal].is_dff
 
     def is_primary_output(self, signal: str) -> bool:
+        """True if ``signal`` is declared a primary output."""
         return signal in self.primary_outputs
 
     def is_pseudo_primary_output(self, signal: str) -> bool:
+        """True if ``signal`` feeds a flip-flop data input (PPO)."""
         return signal in set(self.pseudo_primary_outputs)
 
     def is_combinational_source(self, signal: str) -> bool:

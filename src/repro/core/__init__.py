@@ -14,7 +14,12 @@ from repro.core.results import (
     CampaignResult,
 )
 from repro.core.flow import SequentialDelayATPG
-from repro.core.verify import verify_test_sequence, VerificationReport
+from repro.core.verify import (
+    FaultGrade,
+    VerificationReport,
+    grade_test_sequence,
+    verify_test_sequence,
+)
 from repro.core.reporting import format_campaign_table, campaign_row
 
 __all__ = [
@@ -26,7 +31,9 @@ __all__ = [
     "CampaignResult",
     "SequentialDelayATPG",
     "verify_test_sequence",
+    "grade_test_sequence",
     "VerificationReport",
+    "FaultGrade",
     "format_campaign_table",
     "campaign_row",
 ]

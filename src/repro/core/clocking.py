@@ -54,6 +54,7 @@ class ClockSchedule:
 
     @property
     def frame_count(self) -> int:
+        """Total number of applied time frames."""
         return len(self.speeds)
 
     @property

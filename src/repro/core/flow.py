@@ -79,10 +79,10 @@ class SequentialDelayATPG:
             concrete vectors.
         verify_sequences: re-check every generated sequence with the
             independent gross-delay verification before crediting it.
-        backend: good-machine simulation backend (``"reference"`` or
-            ``"packed"``, see :mod:`repro.fausim.backends`); used for the
-            logic simulation, the propagation-phase fault simulation and the
-            sequence verification.
+        backend: simulation backend (``"packed"`` — the default — or
+            ``"reference"``, see :mod:`repro.fausim.backends`); used for the
+            logic simulation, the propagation-phase fault simulation, the
+            TDsim injection checks and the sequence verification.
     """
 
     def __init__(
@@ -120,7 +120,9 @@ class SequentialDelayATPG:
             max_propagation_frames=max_propagation_frames,
             max_synchronization_frames=max_synchronization_frames,
         )
-        self.fault_simulator = DelayFaultSimulator(circuit, robust=robust, context=self.context)
+        self.fault_simulator = DelayFaultSimulator(
+            circuit, robust=robust, context=self.context, backend=self.backend
+        )
         self._logic_simulator = create_simulator(circuit, self.backend)
 
     # ------------------------------------------------------------------ #

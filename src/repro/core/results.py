@@ -81,6 +81,7 @@ class FaultResult:
 
     @property
     def tested(self) -> bool:
+        """True when the flow produced a verified test for the fault."""
         return self.status is FaultResultStatus.TESTED
 
     def __str__(self) -> str:

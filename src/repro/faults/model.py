@@ -66,10 +66,12 @@ class GateDelayFault:
 
     @property
     def activation_value(self) -> DelayValue:
+        """The transition that provokes this fault (``R`` or ``F``)."""
         return self.fault_type.activation_value
 
     @property
     def fault_value(self) -> DelayValue:
+        """The fault-carrying value at the provoked site (``Rc`` or ``Fc``)."""
         return self.fault_type.fault_value
 
 
@@ -146,10 +148,12 @@ class FaultList:
         return [fault for fault, status in self._status.items() if status is FaultStatus.UNTARGETED]
 
     def with_status(self, status: FaultStatus) -> List[GateDelayFault]:
+        """All faults currently carrying ``status``, in enumeration order."""
         return [fault for fault, current in self._status.items() if current is status]
 
     # -- updates ---------------------------------------------------------
     def status(self, fault: GateDelayFault) -> FaultStatus:
+        """Current status of one fault."""
         return self._status[fault]
 
     def mark(self, fault: GateDelayFault, status: FaultStatus) -> None:

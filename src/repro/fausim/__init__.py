@@ -13,8 +13,12 @@ The third phase (delay fault critical path tracing in the fast frame) lives in
 :mod:`repro.tdsim`.
 
 Good-machine simulation is available through two interchangeable backends
-(see :mod:`repro.fausim.backends`): the ``reference`` per-gate interpreter
-and the compiled bit-parallel ``packed`` evaluator.
+(see :mod:`repro.fausim.backends`): the compiled bit-parallel ``packed``
+evaluator (the process default) and the ``reference`` per-gate interpreter
+(the differential-testing oracle).  The compiled substrate also hosts the
+eight-valued fault-parallel two-frame simulator
+(:mod:`repro.fausim.packed_two_frame`) that TDsim's exact injection checks
+run on.
 """
 
 from repro.fausim.logic_sim import (
@@ -34,10 +38,13 @@ from repro.fausim.backends import (
 )
 from repro.fausim.compile import CompiledCircuit, compile_circuit
 from repro.fausim.packed_sim import PackedLogicSimulator
+from repro.fausim.packed_two_frame import PackedTwoFrameResult, PackedTwoFrameSimulator
 
 __all__ = [
     "LogicSimulator",
     "PackedLogicSimulator",
+    "PackedTwoFrameSimulator",
+    "PackedTwoFrameResult",
     "CompiledCircuit",
     "compile_circuit",
     "simulate_combinational",

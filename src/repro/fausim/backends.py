@@ -18,8 +18,13 @@ uniform across the code base::
 
     simulator = create_simulator(circuit, backend="packed")
 
-``backend=None`` resolves to the process-wide default (``reference`` unless
-changed with :func:`set_default_backend`).
+``backend=None`` resolves to the process-wide default.  The default is
+``packed``: the compiled backend is differentially tested to be bit-exact
+against the reference interpreter (``tests/fausim``, ``tests/core``,
+``tests/tdsim``), so the fast path is safe to use everywhere.  Pass
+``backend="reference"`` (or call ``set_default_backend("reference")``) to
+fall back to the transparent per-gate interpreter — the escape hatch when
+debugging the packed evaluator itself.
 """
 
 from __future__ import annotations
@@ -40,7 +45,7 @@ REFERENCE_BACKEND = "reference"
 PACKED_BACKEND = "packed"
 
 _REGISTRY: Dict[str, BackendFactory] = {}
-_default_backend = REFERENCE_BACKEND
+_default_backend = PACKED_BACKEND
 
 
 def register_backend(name: str, factory: BackendFactory, overwrite: bool = False) -> None:

@@ -70,6 +70,8 @@ class CompiledCircuit:
         dff_data_slots: slot of each flip-flop's data input (PPO), aligned
             with ``ppi_slots``.
         ops / outputs / fanin_offsets / fanin_flat: the gate program.
+        gate_index_of: output slot -> index into the gate program (used by
+            the fault-injecting evaluators to locate a faulted gate).
     """
 
     circuit: Circuit
@@ -83,6 +85,7 @@ class CompiledCircuit:
     outputs: Tuple[int, ...]
     fanin_offsets: Tuple[int, ...]
     fanin_flat: Tuple[int, ...]
+    gate_index_of: Dict[int, int]
 
     @property
     def num_signals(self) -> int:
@@ -151,6 +154,7 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
         outputs=tuple(outputs),
         fanin_offsets=tuple(fanin_offsets),
         fanin_flat=tuple(fanin_flat),
+        gate_index_of={slot: index for index, slot in enumerate(outputs)},
     )
     circuit._compiled_cache = compiled
     return compiled

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.circuit.netlist import Circuit
 from repro.fausim.backends import create_simulator
 from repro.fausim.logic_sim import SignalValues
-from repro.fausim.packed_sim import PackedLogicSimulator, PackedPlanes, pack_column
+from repro.fausim.packed_sim import PackedLogicSimulator, pack_column
 
 
 @dataclasses.dataclass
@@ -180,19 +180,9 @@ class PropagationFaultSimulator:
         all_mask = ((1 << width) - 1) << 1
         compiled = simulator.compiled
         for frame_index, vector in enumerate(self.vectors):
-            zero = [0] * compiled.num_signals
-            one = [0] * compiled.num_signals
-            broadcast = (1 << total_width) - 1
-            for slot, name in zip(compiled.pi_slots, self.circuit.primary_inputs):
-                value = vector.get(name)
-                if value == 0:
-                    zero[slot] = broadcast
-                elif value == 1:
-                    one[slot] = broadcast
-            for position, slot in enumerate(compiled.ppi_slots):
-                zero[slot] = state_zero[position]
-                one[slot] = state_one[position]
-            planes = PackedPlanes(zero=zero, one=one, width=total_width)
+            planes = simulator.load_broadcast_planes(
+                vector, state_zero, state_one, total_width
+            )
             simulator.evaluate_planes(planes)
 
             for po in self.circuit.primary_outputs:

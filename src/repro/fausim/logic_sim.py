@@ -95,6 +95,7 @@ class SequenceResult:
 
     @property
     def frame_count(self) -> int:
+        """Number of simulated time frames."""
         return len(self.frames)
 
     def primary_output_trace(self, circuit: Circuit) -> List[SignalValues]:

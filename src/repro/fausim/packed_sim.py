@@ -163,6 +163,101 @@ class PackedLogicSimulator:
             zero[out] = acc_zero
             one[out] = acc_one
 
+    def evaluate_planes_forced(
+        self,
+        planes: PackedPlanes,
+        source_forces: Sequence[Tuple[int, int, int, int]] = (),
+        gate_forces: Optional[Dict[int, Tuple[int, int, int]]] = None,
+        branch_forces: Optional[Dict[int, Tuple[int, int, int]]] = None,
+    ) -> None:
+        """Run the gate program with per-pattern value forces.
+
+        This is the injection primitive of the fault-parallel gross-delay
+        grading (:mod:`repro.core.verify`): selected pattern bits of selected
+        lines are frozen at an externally chosen value while every other
+        pattern evaluates normally.  A force is a ``(clear, set_zero,
+        set_one)`` mask triple — the cleared bits are first removed from both
+        planes (making those patterns X), then the set masks assert hard
+        values.
+
+        Args:
+            planes: pre-loaded source planes, evaluated in place.
+            source_forces: ``(slot, clear, set_zero, set_one)`` applied to
+                source (PI/PPI) planes before the pass — a stem fault on a
+                primary or pseudo primary input.
+            gate_forces: output-slot -> force, applied right after the gate is
+                evaluated so all downstream reads see the forced value — a
+                stem fault on a gate output.
+            branch_forces: flat fanin position -> force, applied to the value
+                *read* at one (gate, pin) only — a fanout branch fault; the
+                stem itself keeps its computed value.
+        """
+        gate_forces = gate_forces or {}
+        branch_forces = branch_forces or {}
+        zero = planes.zero
+        one = planes.one
+        for slot, clear, set_zero, set_one in source_forces:
+            zero[slot] = (zero[slot] & ~clear) | set_zero
+            one[slot] = (one[slot] & ~clear) | set_one
+
+        mask = (1 << planes.width) - 1
+        compiled = self.compiled
+        fanin_flat = compiled.fanin_flat
+        offsets = compiled.fanin_offsets
+        outputs = compiled.outputs
+        for index, op in enumerate(compiled.ops):
+            start = offsets[index]
+            end = offsets[index + 1]
+
+            inputs: List[Tuple[int, int]] = []
+            for position in range(start, end):
+                slot = fanin_flat[position]
+                in_zero = zero[slot]
+                in_one = one[slot]
+                force = branch_forces.get(position)
+                if force is not None:
+                    clear, set_zero, set_one = force
+                    in_zero = (in_zero & ~clear) | set_zero
+                    in_one = (in_one & ~clear) | set_one
+                inputs.append((in_zero, in_one))
+
+            acc_zero, acc_one = inputs[0]
+            if op <= OP_NAND:  # AND / NAND
+                for in_zero, in_one in inputs[1:]:
+                    acc_one &= in_one
+                    acc_zero |= in_zero
+                if op == OP_NAND:
+                    acc_zero, acc_one = acc_one, acc_zero
+            elif op <= OP_NOR:  # OR / NOR
+                for in_zero, in_one in inputs[1:]:
+                    acc_one |= in_one
+                    acc_zero &= in_zero
+                if op == OP_NOR:
+                    acc_zero, acc_one = acc_one, acc_zero
+            elif op == OP_NOT:
+                acc_zero, acc_one = acc_one, acc_zero
+            elif op == OP_BUF:
+                pass
+            else:  # XOR / XNOR
+                parity = acc_one
+                known = acc_zero | acc_one
+                for in_zero, in_one in inputs[1:]:
+                    parity ^= in_one
+                    known &= in_zero | in_one
+                acc_one = parity & known
+                acc_zero = ~parity & known & mask
+                if op == OP_XNOR:
+                    acc_zero, acc_one = acc_one, acc_zero
+
+            out = outputs[index]
+            force = gate_forces.get(out)
+            if force is not None:
+                clear, set_zero, set_one = force
+                acc_zero = (acc_zero & ~clear) | set_zero
+                acc_one = (acc_one & ~clear) | set_one
+            zero[out] = acc_zero
+            one[out] = acc_one
+
     def load_planes(
         self,
         pi_vectors: Sequence[SignalValues],
@@ -182,6 +277,36 @@ class PackedLogicSimulator:
             zero[slot], one[slot] = pack_column([vector.get(name) for vector in pi_vectors])
         for slot, name in zip(compiled.ppi_slots, self.circuit.pseudo_primary_inputs):
             zero[slot], one[slot] = pack_column([state.get(name) for state in states])
+        return PackedPlanes(zero=zero, one=one, width=width)
+
+    def load_broadcast_planes(
+        self,
+        vector: SignalValues,
+        state_zero: Sequence[int],
+        state_one: Sequence[int],
+        width: int,
+    ) -> PackedPlanes:
+        """Source planes with one PI vector broadcast to every pattern slot.
+
+        The fault-parallel workloads (gross-delay grading, the packed
+        ``observability_map``) apply the *same* input vector to every machine
+        in the word while each slot carries its own state; this loads exactly
+        that shape — broadcast primary inputs plus externally carried per-PPI
+        state planes (aligned with ``compiled.ppi_slots``).
+        """
+        compiled = self.compiled
+        broadcast = (1 << width) - 1
+        zero = [0] * compiled.num_signals
+        one = [0] * compiled.num_signals
+        for slot, name in zip(compiled.pi_slots, self.circuit.primary_inputs):
+            value = vector.get(name)
+            if value == 0:
+                zero[slot] = broadcast
+            elif value == 1:
+                one[slot] = broadcast
+        for position, slot in enumerate(compiled.ppi_slots):
+            zero[slot] = state_zero[position]
+            one[slot] = state_one[position]
         return PackedPlanes(zero=zero, one=one, width=width)
 
     def unpack(self, planes: PackedPlanes) -> List[SignalValues]:

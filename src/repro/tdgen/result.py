@@ -58,6 +58,7 @@ class LocalTest:
 
     @property
     def succeeded(self) -> bool:
+        """True when local test generation found a two-pattern test."""
         return self.status is LocalTestStatus.SUCCESS
 
     def required_state(self) -> Dict[str, int]:

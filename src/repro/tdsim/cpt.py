@@ -15,6 +15,15 @@ one:
   additionally checked for *state invalidation*: the fault effect must not
   disturb any pseudo primary output whose value the propagation phase relied
   on (paper section 5, last paragraph).
+
+With ``backend="packed"`` (the process default, see
+:mod:`repro.fausim.backends`) the exact injection simulations — the good
+machine pass, the per-stem analysis and the PPO confirmation checks — run on
+the compiled netlist through the fault-parallel eight-valued simulator
+(:mod:`repro.fausim.packed_two_frame`): both transition directions of a stem
+share one pass, and all PPO confirmation candidates of a pattern are batched
+into word slots.  The reference interpreter path is kept verbatim behind
+``backend="reference"`` and is the oracle of the differential test-suite.
 """
 
 from __future__ import annotations
@@ -26,6 +35,8 @@ from repro.algebra.tables import evaluate_delay_gate
 from repro.algebra.values import DelayValue, F, R
 from repro.circuit.netlist import Circuit, Line, LineKind
 from repro.faults.model import DelayFaultType, GateDelayFault
+from repro.fausim.backends import PACKED_BACKEND, resolve_backend
+from repro.fausim.packed_two_frame import PackedTwoFrameSimulator
 from repro.tdgen.context import TDgenContext
 from repro.tdgen.simulation import simulate_two_frame
 from repro.algebra.sets import has_fault_value, is_singleton, single_value
@@ -41,12 +52,35 @@ class SimulatedDetection:
 
 
 class DelayFaultSimulator:
-    """Robust delay fault simulator for one circuit."""
+    """Robust delay fault simulator for one circuit.
 
-    def __init__(self, circuit: Circuit, robust: bool = True, context: Optional[TDgenContext] = None) -> None:
+    Args:
+        circuit: circuit under test.
+        robust: use the robust (paper Table 1) or relaxed non-robust tables.
+        context: shared precomputed circuit data (built on demand).
+        backend: simulation backend name (see :mod:`repro.fausim.backends`);
+            ``"packed"`` routes the exact injection simulations through the
+            compiled fault-parallel evaluator, ``"reference"`` keeps the
+            interpreted set-propagation path.  ``None`` selects the process
+            default.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        robust: bool = True,
+        context: Optional[TDgenContext] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.circuit = circuit
         self.robust = robust
         self.context = context or TDgenContext(circuit)
+        self.backend = resolve_backend(backend)
+        self._packed: Optional[PackedTwoFrameSimulator] = (
+            PackedTwoFrameSimulator(circuit, robust=robust)
+            if self.backend == PACKED_BACKEND
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     def simulate(
@@ -69,17 +103,23 @@ class DelayFaultSimulator:
                 on; a fault credited through a PPO must not disturb them.
         """
         required_ppo_values = dict(required_ppo_values or {})
-        good_state = simulate_two_frame(
-            self.context, dict(pi_values), dict(ppi_initial), fault=None, robust=self.robust
-        )
-        values: Dict[str, DelayValue] = {}
-        for signal, value_set in good_state.signal_sets.items():
-            if not is_singleton(value_set):
-                raise ValueError(
-                    "fault simulation needs a fully specified pattern; "
-                    f"signal {signal!r} is not determined"
-                )
-            values[signal] = single_value(value_set)
+        values: Dict[str, DelayValue]
+        if self._packed is not None:
+            values = self._packed.simulate(
+                dict(pi_values), dict(ppi_initial), (None,)
+            ).values_for_pattern(0)
+        else:
+            good_state = simulate_two_frame(
+                self.context, dict(pi_values), dict(ppi_initial), fault=None, robust=self.robust
+            )
+            values = {}
+            for signal, value_set in good_state.signal_sets.items():
+                if not is_singleton(value_set):
+                    raise ValueError(
+                        "fault simulation needs a fully specified pattern; "
+                        f"signal {signal!r} is not determined"
+                    )
+                values[signal] = single_value(value_set)
 
         po_points = [
             po for po in self.circuit.primary_outputs if values[po].is_transition
@@ -100,16 +140,25 @@ class DelayFaultSimulator:
                     detections[fault] = SimulatedDetection(fault, po, through_ppo=False)
 
         # Phase B: CPT from observable pseudo primary outputs; every candidate
-        # must survive the exact injection + invalidation check.
+        # must survive the exact injection + invalidation check.  Candidates
+        # are collected first so the packed backend can confirm a whole word
+        # of injections per simulation pass; crediting in collection order
+        # keeps the result identical to the one-by-one reference loop.
+        candidates: List[Tuple[GateDelayFault, str]] = []
+        seen: Set[Tuple[GateDelayFault, str]] = set()
         for ppo in ppo_points:
             for line in self._trace(ppo, values, dict(pi_values), dict(ppi_initial)):
                 fault = self._fault_for(line, values)
-                if fault is None or fault in detections:
+                if fault is None or fault in detections or (fault, ppo) in seen:
                     continue
-                if self._confirmed_through_ppo(
-                    fault, ppo, dict(pi_values), dict(ppi_initial), required_ppo_values
-                ):
-                    detections[fault] = SimulatedDetection(fault, ppo, through_ppo=True)
+                seen.add((fault, ppo))
+                candidates.append((fault, ppo))
+        confirmed = self._confirm_candidates(
+            candidates, dict(pi_values), dict(ppi_initial), required_ppo_values
+        )
+        for (fault, ppo), passed in zip(candidates, confirmed):
+            if passed and fault not in detections:
+                detections[fault] = SimulatedDetection(fault, ppo, through_ppo=True)
 
         return list(detections.values())
 
@@ -181,7 +230,22 @@ class DelayFaultSimulator:
         pi_values: Dict[str, DelayValue],
         ppi_initial: Dict[str, int],
     ) -> bool:
-        """Exact stem analysis by injection simulation."""
+        """Exact stem analysis by injection simulation.
+
+        The packed backend simulates both transition directions of the stem in
+        one fault-parallel pass; the reference backend runs two interpreted
+        passes.
+        """
+        if self._packed is not None:
+            result = self._packed.simulate(
+                pi_values,
+                ppi_initial,
+                (
+                    GateDelayFault(Line(stem), DelayFaultType.SLOW_TO_RISE),
+                    GateDelayFault(Line(stem), DelayFaultType.SLOW_TO_FALL),
+                ),
+            )
+            return result.fault_effect_mask(observation_point) != 0
         state = simulate_two_frame(
             self.context,
             pi_values,
@@ -215,6 +279,53 @@ class DelayFaultSimulator:
     # ------------------------------------------------------------------ #
     # exact confirmation for PPO-observed faults
     # ------------------------------------------------------------------ #
+    def _confirm_candidates(
+        self,
+        candidates: Sequence[Tuple[GateDelayFault, str]],
+        pi_values: Dict[str, DelayValue],
+        ppi_initial: Dict[str, int],
+        required_ppo_values: Dict[str, int],
+    ) -> List[bool]:
+        """Run the injection + invalidation check for every (fault, PPO) pair.
+
+        With the packed backend one word of injections shares a single
+        simulation pass; the reference backend checks one candidate at a
+        time.  Both return one verdict per candidate, in order.
+        """
+        if not candidates:
+            return []
+        if self._packed is None:
+            return [
+                self._confirmed_through_ppo(
+                    fault, ppo, pi_values, ppi_initial, required_ppo_values
+                )
+                for fault, ppo in candidates
+            ]
+        verdicts: List[bool] = []
+        slot_of = self._packed.compiled.slot_of
+        for start in range(0, len(candidates), self._packed.word_bits):
+            chunk = candidates[start : start + self._packed.word_bits]
+            result = self._packed.simulate(
+                pi_values, ppi_initial, [fault for fault, _ in chunk]
+            )
+            for pattern, (fault, ppo) in enumerate(chunk):
+                passed = bool(result.fault_effect_mask(ppo) & (1 << pattern))
+                if passed:
+                    # Invalidation check: the fault must not disturb any PPO
+                    # value the propagation phase depends on.
+                    for other_ppo, required in required_ppo_values.items():
+                        if other_ppo == ppo:
+                            continue
+                        if other_ppo not in slot_of:
+                            passed = False
+                            break
+                        value = result.value(other_ppo, pattern)
+                        if value.fault or value.final != required:
+                            passed = False
+                            break
+                verdicts.append(passed)
+        return verdicts
+
     def _confirmed_through_ppo(
         self,
         fault: GateDelayFault,

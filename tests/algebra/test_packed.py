@@ -1,0 +1,121 @@
+"""Property tests: packed eight-valued evaluation vs the reference tables.
+
+The packed one-hot-plane evaluator of :mod:`repro.algebra.packed` must agree
+with :func:`repro.algebra.tables.evaluate_delay_gate` on *every* input
+combination.  The two-input case is checked exhaustively (all 64 value pairs
+of every gate type, robust and non-robust, packed into a single word);
+multi-input gates and ragged/partially-assigned words are checked with seeded
+random sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra.packed import (
+    NUM_PLANES,
+    evaluate_packed_delay_gate,
+    pack_delay_values,
+    packed_not,
+    packed_table,
+    unpack_delay_values,
+)
+from repro.algebra.tables import evaluate_delay_gate, not1
+from repro.algebra.values import ALL_VALUES
+from repro.circuit.gates import GateType
+
+TWO_INPUT_TYPES = (
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+)
+
+
+def test_pack_unpack_round_trip():
+    rng = random.Random(7)
+    values = [rng.choice(ALL_VALUES + (None,)) for _ in range(64)]
+    planes = pack_delay_values(values)
+    assert unpack_delay_values(planes, 64) == values
+    # One-hot invariant: no pattern bit may be set in two planes at once.
+    union = 0
+    for plane in planes:
+        assert union & plane == 0
+        union |= plane
+
+
+@pytest.mark.parametrize("gate_type", TWO_INPUT_TYPES)
+@pytest.mark.parametrize("robust", [True, False])
+def test_all_pairs_all_gate_types(gate_type, robust):
+    """All 64 (a, b) pairs of the eight values, evaluated in one packed word."""
+    pairs = [(a, b) for a in ALL_VALUES for b in ALL_VALUES]
+    a_planes = pack_delay_values([a for a, _ in pairs])
+    b_planes = pack_delay_values([b for _, b in pairs])
+    out = evaluate_packed_delay_gate(gate_type, [a_planes, b_planes], robust)
+    got = unpack_delay_values(out, len(pairs))
+    for (a, b), value in zip(pairs, got):
+        want = evaluate_delay_gate(gate_type, (a, b), robust)
+        assert value is want, f"{gate_type.value}({a}, {b}) robust={robust}: {value} != {want}"
+
+
+def test_not_and_buf_all_values():
+    planes = pack_delay_values(list(ALL_VALUES))
+    got_not = unpack_delay_values(evaluate_packed_delay_gate(GateType.NOT, [planes]), 8)
+    got_buf = unpack_delay_values(evaluate_packed_delay_gate(GateType.BUF, [planes]), 8)
+    assert got_not == [not1(value) for value in ALL_VALUES]
+    assert got_buf == list(ALL_VALUES)
+    assert packed_not(planes) == evaluate_packed_delay_gate(GateType.NOT, [planes])
+
+
+@pytest.mark.parametrize("gate_type", TWO_INPUT_TYPES)
+@pytest.mark.parametrize("arity", [3, 4, 5])
+def test_multi_input_fold_matches_reference(gate_type, arity):
+    """Random multi-input words agree with the associative reference fold."""
+    rng = random.Random(100 * arity + gate_type.value.__hash__() % 97)
+    for robust in (True, False):
+        columns = [
+            [rng.choice(ALL_VALUES) for _ in range(64)] for _ in range(arity)
+        ]
+        input_planes = [pack_delay_values(column) for column in columns]
+        out = evaluate_packed_delay_gate(gate_type, input_planes, robust)
+        got = unpack_delay_values(out, 64)
+        for pattern in range(64):
+            inputs = tuple(column[pattern] for column in columns)
+            assert got[pattern] is evaluate_delay_gate(gate_type, inputs, robust)
+
+
+def test_empty_slots_stay_empty():
+    """Unassigned pattern slots never produce an output value."""
+    a = pack_delay_values([ALL_VALUES[0], None, ALL_VALUES[2]])
+    b = pack_delay_values([ALL_VALUES[1], ALL_VALUES[1], None])
+    out = evaluate_packed_delay_gate(GateType.AND, [a, b])
+    values = unpack_delay_values(out, 3)
+    assert values[0] is evaluate_delay_gate(GateType.AND, (ALL_VALUES[0], ALL_VALUES[1]))
+    assert values[1] is None
+    assert values[2] is None
+
+
+def test_packed_table_matches_reference_tables():
+    """The index matrix is a verbatim view of the dictionary truth tables."""
+    for gate_type in TWO_INPUT_TYPES:
+        for robust in (True, False):
+            table = packed_table(gate_type, robust)
+            assert len(table) == NUM_PLANES
+            for a in ALL_VALUES:
+                for b in ALL_VALUES:
+                    want = evaluate_delay_gate(gate_type, (a, b), robust)
+                    assert ALL_VALUES[table[a.index][b.index]] is want
+
+
+def test_arity_validation():
+    planes = pack_delay_values([ALL_VALUES[0]])
+    with pytest.raises(ValueError):
+        evaluate_packed_delay_gate(GateType.AND, [])
+    with pytest.raises(ValueError):
+        evaluate_packed_delay_gate(GateType.NOT, [planes, planes])
+    with pytest.raises(ValueError):
+        evaluate_packed_delay_gate(GateType.BUF, [planes, planes])

@@ -27,10 +27,11 @@ def test_create_simulator_types(s27):
     assert isinstance(create_simulator(s27, "packed"), PackedLogicSimulator)
 
 
-def test_default_backend_is_reference(s27):
-    assert default_backend() == "reference"
-    assert resolve_backend(None) == "reference"
-    assert isinstance(create_simulator(s27), LogicSimulator)
+def test_default_backend_is_packed(s27):
+    """The campaign default is the compiled bit-parallel backend."""
+    assert default_backend() == "packed"
+    assert resolve_backend(None) == "packed"
+    assert isinstance(create_simulator(s27), PackedLogicSimulator)
 
 
 def test_unknown_backend_rejected(s27):
@@ -41,13 +42,13 @@ def test_unknown_backend_rejected(s27):
 
 
 def test_set_default_backend_round_trip(s27):
-    previous = set_default_backend("packed")
+    previous = set_default_backend("reference")
     try:
-        assert previous == "reference"
-        assert isinstance(create_simulator(s27), PackedLogicSimulator)
+        assert previous == "packed"
+        assert isinstance(create_simulator(s27), LogicSimulator)
     finally:
         set_default_backend(previous)
-    assert default_backend() == "reference"
+    assert default_backend() == "packed"
 
 
 def test_register_backend_conflicts():

@@ -1,0 +1,86 @@
+"""Differential harness: TDsim with the packed backend vs the reference.
+
+:class:`repro.tdsim.cpt.DelayFaultSimulator` routes its exact injection
+simulations through the fault-parallel packed evaluator when
+``backend="packed"``; the set of detections (including observation points and
+the through-PPO flag) must be identical to the interpreted reference path on
+any circuit and pattern.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra.values import PI_VALUES
+from repro.tdsim.cpt import DelayFaultSimulator
+
+from tests.fausim.test_packed_differential import random_circuit
+
+
+def _full_pattern(rng, circuit):
+    pi_values = {pi: rng.choice(PI_VALUES) for pi in circuit.primary_inputs}
+    ppi_initial = {ppi: rng.randint(0, 1) for ppi in circuit.pseudo_primary_inputs}
+    return pi_values, ppi_initial
+
+
+def _as_comparable(detections):
+    return {
+        detection.fault: (detection.observation_point, detection.through_ppo)
+        for detection in detections
+    }
+
+
+@pytest.mark.parametrize("seed", range(0, 30, 2))
+@pytest.mark.parametrize("robust", [True, False])
+def test_simulate_identical_across_backends(seed, robust):
+    circuit = random_circuit(seed)
+    rng = random.Random(9000 + seed)
+    reference = DelayFaultSimulator(circuit, robust=robust, backend="reference")
+    packed = DelayFaultSimulator(circuit, robust=robust, backend="packed")
+
+    for _ in range(3):
+        pi_values, ppi_initial = _full_pattern(rng, circuit)
+        # Declare every state bit propagation-observable so phase B (the
+        # batched PPO confirmation) is exercised, with required values taken
+        # from the good machine's initial frame.
+        observable = list(circuit.pseudo_primary_inputs)
+        want = reference.simulate(pi_values, ppi_initial, observable_ppos=observable)
+        got = packed.simulate(pi_values, ppi_initial, observable_ppos=observable)
+        assert _as_comparable(got) == _as_comparable(want), f"seed {seed}"
+
+
+@pytest.mark.parametrize("seed", range(1, 20, 3))
+def test_simulate_with_required_ppos_identical(seed):
+    circuit = random_circuit(seed)
+    if not circuit.flip_flops:
+        pytest.skip("combinational sample")
+    rng = random.Random(9500 + seed)
+    reference = DelayFaultSimulator(circuit, backend="reference")
+    packed = DelayFaultSimulator(circuit, backend="packed")
+
+    for _ in range(3):
+        pi_values, ppi_initial = _full_pattern(rng, circuit)
+        ppos = [dff.fanin[0] for dff in circuit.flip_flops]
+        required = {ppo: rng.randint(0, 1) for ppo in ppos}
+        want = reference.simulate(
+            pi_values,
+            ppi_initial,
+            observable_ppos=ppos,
+            required_ppo_values=required,
+        )
+        got = packed.simulate(
+            pi_values,
+            ppi_initial,
+            observable_ppos=ppos,
+            required_ppo_values=required,
+        )
+        assert _as_comparable(got) == _as_comparable(want), f"seed {seed}"
+
+
+def test_partial_pattern_rejected_by_both_backends(s27):
+    for backend in ("reference", "packed"):
+        simulator = DelayFaultSimulator(s27, backend=backend)
+        with pytest.raises(ValueError, match="fully specified"):
+            simulator.simulate({"G0": PI_VALUES[0]}, {})

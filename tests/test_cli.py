@@ -63,9 +63,12 @@ def _without_timings(report: str) -> str:
 
 
 def test_campaign_packed_backend_matches_reference(capsys):
-    code, reference_out = run_cli(capsys, "campaign", "--circuits", "s27")
+    code, reference_out = run_cli(
+        capsys, "campaign", "--circuits", "s27", "--backend", "reference"
+    )
     assert code == 0
-    code, packed_out = run_cli(capsys, "campaign", "--circuits", "s27", "--backend", "packed")
+    # No --backend: the process default must be the packed backend.
+    code, packed_out = run_cli(capsys, "campaign", "--circuits", "s27")
     assert code == 0
     assert _without_timings(packed_out) == _without_timings(reference_out)
 
