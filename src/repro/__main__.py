@@ -50,9 +50,10 @@ def _add_campaign_parser(subparsers) -> None:
         choices=sorted(available_backends()),
         default=None,
         help=(
-            "good-machine simulation backend (default: packed, the compiled "
-            "bit-parallel evaluator; pass 'reference' for the per-gate "
-            "interpreter oracle)"
+            "simulation and implication backend (default: packed, the "
+            "compiled bit-parallel evaluators used for fault simulation AND "
+            "the search-side forward implication of TDgen/SEMILET; pass "
+            "'reference' for the per-gate interpreter oracles)"
         ),
     )
 

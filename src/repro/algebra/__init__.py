@@ -61,6 +61,11 @@ from repro.algebra.packed import (
     pack_delay_values,
     unpack_delay_values,
 )
+from repro.algebra.packed_sets import (
+    PackedSetSimulator,
+    pack_value_sets,
+    unpack_value_sets,
+)
 
 __all__ = [
     "DelayValue",
@@ -94,4 +99,7 @@ __all__ = [
     "evaluate_packed_delay_gate",
     "pack_delay_values",
     "unpack_delay_values",
+    "PackedSetSimulator",
+    "pack_value_sets",
+    "unpack_value_sets",
 ]

@@ -111,15 +111,14 @@ def packed_pair(
     number of *distinct* values each input actually holds across the word.
     """
     out = [0] * NUM_PLANES
-    for a_index in range(NUM_PLANES):
-        plane_a = a_planes[a_index]
+    populated_b = [
+        (b_index, plane_b) for b_index, plane_b in enumerate(b_planes) if plane_b
+    ]
+    for a_index, plane_a in enumerate(a_planes):
         if not plane_a:
             continue
         row = table[a_index]
-        for b_index in range(NUM_PLANES):
-            plane_b = b_planes[b_index]
-            if not plane_b:
-                continue
+        for b_index, plane_b in populated_b:
             both = plane_a & plane_b
             if both:
                 out[row[b_index]] |= both

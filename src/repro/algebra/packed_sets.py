@@ -1,0 +1,312 @@
+"""Word-packed eight-plane *set* propagation on the compiled netlist.
+
+:mod:`repro.algebra.packed` evaluates one concrete eight-valued *value* per
+pattern slot; the search side of the flow (TDgen's forward implication,
+TDsim's reference fallbacks) instead propagates *sets of still-possible
+values* per signal.  This module extends the one-hot multi-plane encoding to
+sets: every signal carries eight bit planes and bit ``j`` of plane ``v`` is
+set when value index ``v`` is a member of pattern slot ``j``'s possibility
+set.  A slot with no plane bit set carries the empty set (a conflict).
+
+The crucial observation is that :func:`repro.algebra.packed.packed_pair`
+already implements exact set propagation under this reading::
+
+    out[table[a][b]] |= a_planes[a] & b_planes[b]
+
+unions the gate image over every *member pair* of the two input sets, which
+is precisely :func:`repro.algebra.sets.evaluate_gate_sets`'s pairwise image —
+for all word slots at once.  Emptiness propagates for free: a slot empty in
+either input is empty in the output, matching the reference's empty-set
+short-circuit.
+
+:class:`PackedSetSimulator` runs this set evaluation over the flat gate
+program of :mod:`repro.fausim.compile`, with fault-injection *moves* (convert
+the activating transition into its fault-carrying variant on selected slots)
+applied at stem outputs and at single fanout-branch pins, mirroring the
+reference injection of :mod:`repro.tdgen.simulation`.  Each of the word's
+slots therefore carries one independent candidate assignment — a decision
+alternative, a candidate frame, or a fault-free/faulty pair — and one pass
+over the gate program implies all of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algebra.packed import (
+    NOT_PERMUTATION,
+    NUM_PLANES,
+    core_of,
+    packed_not,
+    packed_table,
+)
+from repro.algebra.sets import ValueSet
+from repro.circuit.gates import GateType
+from repro.fausim.compile import _OPCODES, OP_BUF, OP_NOT, CompiledCircuit
+
+#: Plane list of one signal: ``planes[v]`` holds the slots whose possibility
+#: set contains the value with index ``v`` (multiple planes may carry the
+#: same slot bit — that is what makes it a *set* encoding).
+SetPlanes = List[int]
+
+#: An injection move: convert value index ``source`` into value index
+#: ``target`` on the slots selected by ``mask`` (the reference ``_inject``
+#: with the activation/fault-value pair flattened to indices).
+Move = Tuple[int, int, int]
+
+#: Opcode -> (two-input core gate type, apply inverter permutation after the
+#: fold), shared with the fault-parallel value simulator so the compiled set
+#: evaluation cannot drift from the compiler's opcode map.
+OP_CORE: Dict[int, Tuple[GateType, bool]] = {
+    opcode: core_of(gate_type)
+    for gate_type, opcode in _OPCODES.items()
+    if gate_type not in (GateType.NOT, GateType.BUF)
+}
+
+
+def pack_value_sets(sets: Sequence[ValueSet]) -> SetPlanes:
+    """Pack one signal's possibility set across slots into eight planes."""
+    planes = [0] * NUM_PLANES
+    for slot_index, value_set in enumerate(sets):
+        bit = 1 << slot_index
+        remaining = value_set
+        while remaining:
+            low = remaining & -remaining
+            planes[low.bit_length() - 1] |= bit
+            remaining ^= low
+    return planes
+
+
+def unpack_value_sets(planes: Sequence[int], width: int) -> List[ValueSet]:
+    """Expand packed set planes back into one :class:`ValueSet` per slot."""
+    sets = [0] * width
+    for index, plane in enumerate(planes):
+        plane &= (1 << width) - 1
+        mask = 1 << index
+        while plane:
+            low = plane & -plane
+            sets[low.bit_length() - 1] |= mask
+            plane ^= low
+    return sets
+
+
+def slot_set(planes: Sequence[int], pattern: int) -> ValueSet:
+    """The possibility set carried by one slot (column read of the planes)."""
+    mask = 0
+    for index in range(NUM_PLANES):
+        if (planes[index] >> pattern) & 1:
+            mask |= 1 << index
+    return mask
+
+
+def apply_move(planes: SetPlanes, move: Move) -> None:
+    """Apply one injection move in place.
+
+    On every slot selected by the move's mask that contains the source value,
+    the source value is removed and the target value added — exactly the
+    reference ``_inject`` (slots without the source value are untouched, and
+    other members of the set survive).
+    """
+    source, target, mask = move
+    moved = planes[source] & mask
+    if moved:
+        planes[source] &= ~moved
+        planes[target] |= moved
+
+
+@dataclasses.dataclass
+class PackedSetResult:
+    """Outcome of one packed set-propagation pass.
+
+    Attributes:
+        planes: per signal slot, the eight set planes after propagation.
+        width: number of valid pattern slots.
+        conflict_mask: slots in which some signal's set became empty, as a
+            bit mask.
+        conflict_signals: first signal (in evaluation order) whose set became
+            empty, per conflicted slot index.
+    """
+
+    planes: List[SetPlanes]
+    width: int
+    conflict_mask: int
+    conflict_signals: Dict[int, str]
+
+    def slot_sets(self, slot: int, pattern: int) -> ValueSet:
+        """Possibility set of one signal slot in one pattern slot."""
+        return slot_set(self.planes[slot], pattern)
+
+
+class PackedSetSimulator:
+    """Set propagation over one compiled circuit, one candidate per word slot.
+
+    Args:
+        compiled: the compiled gate program to run (see
+            :func:`repro.fausim.compile.compile_circuit`).
+        robust: use the robust (paper Table 1) or relaxed non-robust tables.
+    """
+
+    def __init__(self, compiled: CompiledCircuit, robust: bool = True) -> None:
+        self.compiled = compiled
+        self.robust = robust
+        # Per opcode: the core fold table and the table of the *final* fold
+        # step.  For inverting gates (NAND/NOR/XNOR) the inverter permutation
+        # is pre-composed into the final table, so the hot loop never runs a
+        # separate NOT pass over the folded planes.
+        self._tables: Dict[int, Tuple[Tuple[Tuple[int, ...], ...], Tuple[Tuple[int, ...], ...]]] = {}
+        for opcode, (core, invert) in OP_CORE.items():
+            base = packed_table(core, robust)
+            if invert:
+                last = tuple(
+                    tuple(NOT_PERMUTATION[value] for value in row) for row in base
+                )
+            else:
+                last = base
+            self._tables[opcode] = (base, last)
+
+    def propagate(
+        self,
+        source_planes: List[SetPlanes],
+        width: int,
+        stem_moves: Optional[Mapping[int, Sequence[Move]]] = None,
+        branch_moves: Optional[Mapping[int, Sequence[Move]]] = None,
+        gate_indices: Optional[Sequence[int]] = None,
+    ) -> PackedSetResult:
+        """Run the gate program over pre-loaded source set planes.
+
+        Args:
+            source_planes: one plane list per signal slot; the PI/PPI slots
+                must be loaded (including any source-stem injection), gate
+                slots are overwritten.
+            width: number of valid pattern slots.
+            stem_moves: injection moves keyed by *gate output* slot, applied
+                right after the gate is evaluated (a stem fault on a gate
+                output — every sink sees the injected set).
+            branch_moves: injection moves keyed by flat fanin position,
+                applied to the set *read* at that one (gate, pin) only (a
+                fanout-branch fault — the stem keeps its fault-free set).
+            gate_indices: restrict the pass to these gate-program indices, in
+                ascending order (incremental cone evaluation); ``None`` runs
+                the full program.  Every fanin read outside the subset must
+                already hold valid planes.
+
+        Returns:
+            The evaluated planes plus the per-slot conflict bookkeeping (the
+            packed counterpart of recording the first empty set during the
+            reference propagation pass).
+        """
+        stem_moves = stem_moves or {}
+        branch_moves = branch_moves or {}
+        compiled = self.compiled
+        planes = source_planes
+        tables = self._tables
+        fanin_flat = compiled.fanin_flat
+        offsets = compiled.fanin_offsets
+        outputs = compiled.outputs
+        signal_names = compiled.signal_names
+        full = (1 << width) - 1
+        conflict_mask = 0
+        conflict_signals: Dict[int, str] = {}
+
+        has_branch_moves = bool(branch_moves)
+        has_stem_moves = bool(stem_moves)
+        ops = compiled.ops
+        indices = range(len(ops)) if gate_indices is None else gate_indices
+        for index in indices:
+            op = ops[index]
+            start = offsets[index]
+            end = offsets[index + 1]
+
+            if has_branch_moves:
+                input_planes: List[SetPlanes] = []
+                for position in range(start, end):
+                    source = planes[fanin_flat[position]]
+                    moves = branch_moves.get(position)
+                    if moves:
+                        source = list(source)
+                        for move in moves:
+                            apply_move(source, move)
+                    input_planes.append(source)
+            else:
+                input_planes = [
+                    planes[fanin_flat[position]] for position in range(start, end)
+                ]
+
+            if op == OP_NOT:
+                acc = packed_not(input_planes[0])
+            elif op == OP_BUF:
+                acc = list(input_planes[0])
+            else:
+                # The pairwise fold is inlined (rather than calling
+                # :func:`repro.algebra.packed.packed_pair` per step) to keep
+                # the hot loop free of per-gate function-call overhead; the
+                # final step's table carries any inverter permutation.
+                base_table, last_table = tables[op]
+                arity = end - start
+                if arity == 2:
+                    # Two-input gates dominate; evaluate without any
+                    # intermediate list building.
+                    a_planes = input_planes[0]
+                    b_planes = input_planes[1]
+                    acc = [0] * NUM_PLANES
+                    for a_index in range(NUM_PLANES):
+                        plane_a = a_planes[a_index]
+                        if plane_a:
+                            row = last_table[a_index]
+                            for b_index in range(NUM_PLANES):
+                                plane_b = b_planes[b_index]
+                                if plane_b:
+                                    both = plane_a & plane_b
+                                    if both:
+                                        acc[row[b_index]] |= both
+                elif arity == 1:
+                    source = input_planes[0]
+                    acc = (
+                        list(source) if base_table is last_table else packed_not(source)
+                    )
+                else:
+                    acc = input_planes[0]
+                    final_step = arity - 1
+                    for step in range(1, arity):
+                        table = last_table if step == final_step else base_table
+                        nxt = input_planes[step]
+                        folded = [0] * NUM_PLANES
+                        for a_index, plane_a in enumerate(acc):
+                            if plane_a:
+                                row = table[a_index]
+                                for b_index in range(NUM_PLANES):
+                                    plane_b = nxt[b_index]
+                                    if plane_b:
+                                        both = plane_a & plane_b
+                                        if both:
+                                            folded[row[b_index]] |= both
+                        acc = folded
+
+            out = outputs[index]
+            if has_stem_moves:
+                moves = stem_moves.get(out)
+                if moves:
+                    for move in moves:
+                        apply_move(acc, move)
+            planes[out] = acc
+
+            live = (
+                acc[0] | acc[1] | acc[2] | acc[3]
+                | acc[4] | acc[5] | acc[6] | acc[7]
+            )
+            empty = full & ~live & ~conflict_mask
+            if empty:
+                conflict_mask |= empty
+                name = signal_names[out]
+                while empty:
+                    low = empty & -empty
+                    conflict_signals[low.bit_length() - 1] = name
+                    empty ^= low
+
+        return PackedSetResult(
+            planes=planes,
+            width=width,
+            conflict_mask=conflict_mask,
+            conflict_signals=conflict_signals,
+        )

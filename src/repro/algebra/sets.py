@@ -137,6 +137,9 @@ def evaluate_gate_sets(
     return result
 
 
+_BACKWARD_CACHE: Dict[Tuple, Tuple[ValueSet, ...]] = {}
+
+
 def backward_input_sets(
     gate_type: GateType,
     input_sets: Sequence[ValueSet],
@@ -149,8 +152,30 @@ def backward_input_sets(
     the other inputs (within their current sets) makes the gate output fall in
     ``output_set``.  Exact but exponential in fanin; fanins above a small
     bound fall back to no pruning, which is sound (never removes a possible
-    value).
+    value).  Results are memoised — the key is a handful of small ints, and
+    the searching engines re-pose the same pruning queries once per decision.
     """
+    arity = len(input_sets)
+    if arity > 4:
+        # Sound no-pruning fallback — cheaper than a cache lookup, and
+        # caching it would grow the memo without bound on wide gates.
+        return list(input_sets)
+    key = (gate_type, robust, output_set, tuple(input_sets))
+    cached = _BACKWARD_CACHE.get(key)
+    if cached is not None:
+        return list(cached)
+    result = _backward_input_sets_uncached(gate_type, input_sets, output_set, robust)
+    _BACKWARD_CACHE[key] = tuple(result)
+    return result
+
+
+def _backward_input_sets_uncached(
+    gate_type: GateType,
+    input_sets: Sequence[ValueSet],
+    output_set: ValueSet,
+    robust: bool,
+) -> List[ValueSet]:
+    """The uncached pruning computation behind :func:`backward_input_sets`."""
     arity = len(input_sets)
     if arity == 1:
         allowed = 0

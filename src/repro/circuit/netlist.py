@@ -111,6 +111,7 @@ class Circuit:
         self.primary_outputs: List[str] = []
         self._fanout_cache: Optional[Dict[str, List[Tuple[str, int]]]] = None
         self._order_cache: Optional[List[str]] = None
+        self._dff_cache: Optional[List[Gate]] = None
         # Lowered form used by the packed simulator; owned by
         # repro.fausim.compile but invalidated with the structural caches.
         self._compiled_cache = None
@@ -147,6 +148,7 @@ class Circuit:
     def _invalidate(self) -> None:
         self._fanout_cache = None
         self._order_cache = None
+        self._dff_cache = None
         self._compiled_cache = None
 
     # ------------------------------------------------------------------ #
@@ -154,8 +156,15 @@ class Circuit:
     # ------------------------------------------------------------------ #
     @property
     def flip_flops(self) -> List[Gate]:
-        """The state register, in insertion order."""
-        return [gate for gate in self.gates.values() if gate.is_dff]
+        """The state register, in insertion order (cached between edits).
+
+        The list itself is cached — the state register is read once per
+        simulated frame all over the flow — but callers get a copy so the
+        cache cannot be mutated from outside.
+        """
+        if self._dff_cache is None:
+            self._dff_cache = [gate for gate in self.gates.values() if gate.is_dff]
+        return list(self._dff_cache)
 
     @property
     def pseudo_primary_inputs(self) -> List[str]:

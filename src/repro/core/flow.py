@@ -79,10 +79,12 @@ class SequentialDelayATPG:
             concrete vectors.
         verify_sequences: re-check every generated sequence with the
             independent gross-delay verification before crediting it.
-        backend: simulation backend (``"packed"`` — the default — or
-            ``"reference"``, see :mod:`repro.fausim.backends`); used for the
-            logic simulation, the propagation-phase fault simulation, the
-            TDsim injection checks and the sequence verification.
+        backend: simulation *and* implication backend (``"packed"`` — the
+            default — or ``"reference"``, see :mod:`repro.fausim.backends`
+            and :mod:`repro.tdgen.implication`); used for the logic
+            simulation, the propagation-phase fault simulation, the TDsim
+            injection checks, the sequence verification, and the search-side
+            forward implication of TDgen and SEMILET.
     """
 
     def __init__(
@@ -113,12 +115,14 @@ class SequentialDelayATPG:
             robust=robust,
             backtrack_limit=local_backtrack_limit,
             context=self.context,
+            backend=self.backend,
         )
         self.semilet = Semilet(
             circuit,
             backtrack_limit=sequential_backtrack_limit,
             max_propagation_frames=max_propagation_frames,
             max_synchronization_frames=max_synchronization_frames,
+            backend=self.backend,
         )
         self.fault_simulator = DelayFaultSimulator(
             circuit, robust=robust, context=self.context, backend=self.backend

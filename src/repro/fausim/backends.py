@@ -25,6 +25,12 @@ against the reference interpreter (``tests/fausim``, ``tests/core``,
 ``backend="reference"`` (or call ``set_default_backend("reference")``) to
 fall back to the transparent per-gate interpreter — the escape hatch when
 debugging the packed evaluator itself.
+
+The search-side *implication engines* (:mod:`repro.tdgen.implication`) are
+registered under the same names and resolve ``backend=None`` through
+:func:`default_backend` as well, so one backend choice — per call, via
+:func:`set_default_backend`, or via the CLI ``--backend`` flag — governs
+fault simulation and forward implication together.
 """
 
 from __future__ import annotations

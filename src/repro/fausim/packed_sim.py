@@ -107,11 +107,20 @@ class PackedLogicSimulator:
     # ------------------------------------------------------------------ #
     # packed core
     # ------------------------------------------------------------------ #
-    def evaluate_planes(self, planes: PackedPlanes) -> None:
+    def evaluate_planes(
+        self, planes: PackedPlanes, gate_indices: "Sequence[int] | None" = None
+    ) -> None:
         """Run the gate program in place on pre-loaded source planes.
 
         ``planes`` must carry the PI and PPI planes; every gate output plane
         is (re)computed.  This is the single hot loop of the backend.
+
+        Args:
+            planes: pre-loaded source planes, evaluated in place.
+            gate_indices: restrict the pass to these gate-program indices in
+                ascending order (incremental cone evaluation); ``None`` runs
+                the full program.  Fanin planes outside the subset must
+                already be valid.
         """
         zero = planes.zero
         one = planes.one
@@ -120,7 +129,10 @@ class PackedLogicSimulator:
         fanin_flat = compiled.fanin_flat
         offsets = compiled.fanin_offsets
         outputs = compiled.outputs
-        for index, op in enumerate(compiled.ops):
+        ops = compiled.ops
+        indices = range(len(ops)) if gate_indices is None else gate_indices
+        for index in indices:
+            op = ops[index]
             start = offsets[index]
             end = offsets[index + 1]
             first = fanin_flat[start]

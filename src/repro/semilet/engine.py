@@ -27,6 +27,8 @@ class Semilet:
             to drive a captured fault effect to a primary output.
         max_synchronization_frames: bound on the length of the initialising
             sequence searched for.
+        backend: implication/simulation backend shared by all three tasks
+            (``None`` selects the process default).
     """
 
     def __init__(
@@ -35,6 +37,7 @@ class Semilet:
         backtrack_limit: int = 100,
         max_propagation_frames: Optional[int] = None,
         max_synchronization_frames: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.backtrack_limit = backtrack_limit
@@ -42,11 +45,13 @@ class Semilet:
             circuit,
             max_frames=max_propagation_frames,
             backtrack_limit=backtrack_limit,
+            backend=backend,
         )
         self.synchronizer = Synchronizer(
             circuit,
             max_frames=max_synchronization_frames,
             backtrack_limit=backtrack_limit,
+            backend=backend,
         )
 
     def propagate(

@@ -10,7 +10,10 @@ synchronisation) proceed.
 
 The search is a small PODEM: decisions only on inputs, forward implication by
 levelised three-valued simulation, objective-driven backtrace using
-controlling values, and a backtrack limit.
+controlling values, and a backtrack limit.  The frame simulation goes through
+the backend-dispatched implication engine (:mod:`repro.tdgen.implication`):
+both alternatives of a decision are submitted as one candidate batch, which
+the packed engine evaluates in a single pass over the compiled netlist.
 """
 
 from __future__ import annotations
@@ -20,7 +23,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.gates import GateType, controlling_value, inversion_parity
 from repro.circuit.netlist import Circuit
-from repro.fausim.logic_sim import LogicSimulator, SignalValues
+from repro.fausim.logic_sim import SignalValues
+from repro.tdgen.implication import CandidateFrames, create_implication_engine
 
 
 @dataclasses.dataclass
@@ -39,9 +43,13 @@ class JustificationResult:
 
 @dataclasses.dataclass
 class _Decision:
+    """One decision node with the batched frames of its candidate values."""
+
     name: str
     is_pi: bool
     alternatives: List[int]
+    frames: CandidateFrames
+    cursor: int = 0
 
 
 class FrameJustifier:
@@ -57,6 +65,8 @@ class FrameJustifier:
         prefer_few_ppi_assignments: backtrace into primary inputs before
             pseudo primary inputs, so the previous-frame goal stays as small as
             possible.
+        backend: implication engine backend used for the frame simulation
+            (``None`` selects the process default).
     """
 
     def __init__(
@@ -65,12 +75,13 @@ class FrameJustifier:
         backtrack_limit: int = 100,
         decide_ppis: bool = True,
         prefer_few_ppi_assignments: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.backtrack_limit = backtrack_limit
         self.decide_ppis = decide_ppis
         self.prefer_few_ppi_assignments = prefer_few_ppi_assignments
-        self._simulator = LogicSimulator(circuit)
+        self._implication = create_implication_engine(circuit, backend=backend)
 
     def justify(
         self,
@@ -99,8 +110,12 @@ class FrameJustifier:
         stack: List[_Decision] = []
         backtracks = 0
 
+        # Frame of the initial (fixed-only) assignment; later frames come
+        # from the decision nodes' candidate batches.
+        root_frame = self._implication.frame(pi_values, ppi_values)
+        frame = root_frame
+
         while True:
-            frame = self._simulate(pi_values, ppi_values)
             status = self._classify(frame, objectives)
             if status == "success":
                 return JustificationResult(
@@ -123,6 +138,8 @@ class FrameJustifier:
                     if decision.alternatives:
                         value = decision.alternatives.pop(0)
                         self._assign(decision, value, pi_values, ppi_values)
+                        decision.cursor += 1
+                        frame = decision.frames.frame(decision.cursor)
                         backtracks += 1
                         flipped = True
                         break
@@ -143,6 +160,8 @@ class FrameJustifier:
                 self._unassign(decision, pi_values, ppi_values)
                 if decision.alternatives:
                     self._assign(decision, decision.alternatives.pop(0), pi_values, ppi_values)
+                    decision.cursor += 1
+                    frame = decision.frames.frame(decision.cursor)
                     backtracks += 1
                     if backtracks > self.backtrack_limit:
                         return JustificationResult(
@@ -150,22 +169,27 @@ class FrameJustifier:
                         )
                 else:
                     stack.pop()
+                    # Back to the popped node's prefix: its frame is the
+                    # parent's current candidate (or the root frame).
+                    frame = (
+                        stack[-1].frames.frame(stack[-1].cursor)
+                        if stack
+                        else root_frame
+                    )
                 continue
 
             name, is_pi, preferred = decision_key
-            decision = _Decision(name=name, is_pi=is_pi, alternatives=[1 - preferred])
+            # Evaluate both alternatives of the new decision in one batch.
+            frames = self._implication.frame_candidates(
+                pi_values, ppi_values,
+                [(name, is_pi, preferred), (name, is_pi, 1 - preferred)],
+            )
+            decision = _Decision(
+                name=name, is_pi=is_pi, alternatives=[1 - preferred], frames=frames
+            )
             self._assign(decision, preferred, pi_values, ppi_values)
+            frame = frames.frame(0)
             stack.append(decision)
-
-    # ------------------------------------------------------------------ #
-    def _simulate(
-        self,
-        pi_values: Dict[str, Optional[int]],
-        ppi_values: Dict[str, Optional[int]],
-    ) -> SignalValues:
-        pis = {pi: value for pi, value in pi_values.items() if value is not None}
-        state = {ppi: value for ppi, value in ppi_values.items() if value is not None}
-        return self._simulator.combinational(pis, state)
 
     @staticmethod
     def _classify(frame: SignalValues, objectives: Dict[str, int]) -> str:

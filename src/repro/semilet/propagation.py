@@ -12,6 +12,12 @@ processing), for primary input vectors that steer the difference to a primary
 output.  Within a frame it runs a small PODEM over the pair logic
 (good value, faulty value); across frames it backtracks over the alternative
 pseudo primary outputs the difference was parked in.
+
+The pair simulation itself goes through the backend-dispatched implication
+engine (:mod:`repro.tdgen.implication`): when a frame decision is opened,
+both alternatives are submitted as one candidate batch, which the packed
+engine evaluates in a single word-parallel pass over the compiled netlist
+(good and faulty machine in adjacent word slots).
 """
 
 from __future__ import annotations
@@ -19,10 +25,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.circuit.gates import GateType, controlling_value, evaluate_gate, inversion_parity
+from repro.circuit.gates import GateType, controlling_value, inversion_parity
 from repro.circuit.levelize import combinational_order
 from repro.circuit.netlist import Circuit
 from repro.fausim.logic_sim import SignalValues
+from repro.tdgen.implication import CandidatePairFrames, create_implication_engine
 
 PairValue = Tuple[Optional[int], Optional[int]]  # (good, faulty)
 
@@ -36,6 +43,22 @@ class FrameSolution:
     next_good_state: SignalValues
     next_faulty_state: SignalValues
     required_free_ppis: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class _FrameDecision:
+    """One node of the frame PODEM's decision stack.
+
+    ``frames`` holds the pair simulation of every candidate value (computed
+    as one engine batch when the node was opened); ``cursor`` indexes the
+    currently assigned candidate.
+    """
+
+    name: str
+    is_pi: bool
+    alternatives: List[int]
+    frames: CandidatePairFrames
+    cursor: int = 0
 
 
 @dataclasses.dataclass
@@ -55,7 +78,17 @@ class PropagationResult:
 
 
 class PropagationEngine:
-    """Multi-frame forward propagation of a captured fault effect."""
+    """Multi-frame forward propagation of a captured fault effect.
+
+    Args:
+        circuit: circuit under test.
+        max_frames: bound on the number of slow-clock propagation frames.
+        backtrack_limit: per-propagation backtrack budget (paper: 100).
+        frame_alternatives: how many alternative state bits to park the
+            difference in before giving up on a frame.
+        backend: implication engine backend used for the pair simulation
+            (``None`` selects the process default).
+    """
 
     def __init__(
         self,
@@ -63,6 +96,7 @@ class PropagationEngine:
         max_frames: Optional[int] = None,
         backtrack_limit: int = 100,
         frame_alternatives: int = 3,
+        backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.backtrack_limit = backtrack_limit
@@ -71,6 +105,13 @@ class PropagationEngine:
             max_frames = max(2 * len(circuit.flip_flops) + 2, 4)
         self.max_frames = min(max_frames, 64)
         self._order = combinational_order(circuit)
+        self._implication = create_implication_engine(circuit, backend=backend)
+        #: Pre-resolved (name, fanin) rows in evaluation order — the
+        #: per-classify scans below run once per decision and should not pay
+        #: a netlist lookup per gate each time.
+        self._gate_rows: List[Tuple[str, Tuple[str, ...]]] = [
+            (name, tuple(circuit.gate(name).fanin)) for name in self._order
+        ]
 
     # ------------------------------------------------------------------ #
     # public API
@@ -181,11 +222,17 @@ class PropagationEngine:
         pi_values: Dict[str, Optional[int]] = {pi: None for pi in self.circuit.primary_inputs}
         free_ppi_values: Dict[str, Optional[int]] = {ppi: None for ppi in assignable}
 
-        stack: List[Tuple[str, bool, List[int]]] = []  # (name, is_pi, alternatives)
+        stack: List[_FrameDecision] = []
         backtracks = 0
 
+        # Pair simulation of the empty assignment; later frames come from the
+        # decision nodes' candidate batches (one engine sweep per node).
+        root_pairs = self._implication.pair_frame(
+            pi_values, good_state, faulty_state, free_ppi_values
+        )
+        pairs = root_pairs
+
         while True:
-            pairs = self._simulate_pair(pi_values, good_state, faulty_state, free_ppi_values)
             status = self._classify_frame(pairs, goal, blocked_targets)
             if status == "success":
                 next_good = {}
@@ -214,12 +261,17 @@ class PropagationEngine:
             if status == "conflict":
                 flipped = False
                 while stack:
-                    name, is_pi, alternatives = stack[-1]
-                    self._set_frame_var(name, is_pi, None, pi_values, free_ppi_values)
-                    if alternatives:
+                    decision = stack[-1]
+                    self._set_frame_var(
+                        decision.name, decision.is_pi, None, pi_values, free_ppi_values
+                    )
+                    if decision.alternatives:
                         self._set_frame_var(
-                            name, is_pi, alternatives.pop(0), pi_values, free_ppi_values
+                            decision.name, decision.is_pi, decision.alternatives.pop(0),
+                            pi_values, free_ppi_values,
                         )
+                        decision.cursor += 1
+                        pairs = decision.frames.pairs(decision.cursor)
                         backtracks += 1
                         flipped = True
                         break
@@ -228,56 +280,47 @@ class PropagationEngine:
                     return None
                 continue
 
-            decision = self._frame_decision(pairs, goal, blocked_targets, pi_values, free_ppi_values)
-            if decision is None:
+            decision_key = self._frame_decision(
+                pairs, goal, blocked_targets, pi_values, free_ppi_values
+            )
+            if decision_key is None:
                 if not stack:
                     return None
-                name, is_pi, alternatives = stack[-1]
-                self._set_frame_var(name, is_pi, None, pi_values, free_ppi_values)
-                if alternatives:
+                decision = stack[-1]
+                self._set_frame_var(
+                    decision.name, decision.is_pi, None, pi_values, free_ppi_values
+                )
+                if decision.alternatives:
                     self._set_frame_var(
-                        name, is_pi, alternatives.pop(0), pi_values, free_ppi_values
+                        decision.name, decision.is_pi, decision.alternatives.pop(0),
+                        pi_values, free_ppi_values,
                     )
+                    decision.cursor += 1
+                    pairs = decision.frames.pairs(decision.cursor)
                     backtracks += 1
                     if backtracks > self.backtrack_limit:
                         return None
                 else:
                     stack.pop()
+                    # Back to the popped node's prefix: its pair frame is the
+                    # parent's current candidate (or the root frame).
+                    pairs = (
+                        stack[-1].frames.pairs(stack[-1].cursor)
+                        if stack
+                        else root_pairs
+                    )
                 continue
-            name, is_pi, preferred = decision
-            stack.append((name, is_pi, [1 - preferred]))
-            self._set_frame_var(name, is_pi, preferred, pi_values, free_ppi_values)
-
-    def _simulate_pair(
-        self,
-        pi_values: Dict[str, Optional[int]],
-        good_state: SignalValues,
-        faulty_state: SignalValues,
-        free_ppi_values: Dict[str, Optional[int]],
-    ) -> Dict[str, PairValue]:
-        """Simulate good and faulty machines of one frame in lock step."""
-        pairs: Dict[str, PairValue] = {}
-        for pi in self.circuit.primary_inputs:
-            value = pi_values[pi]
-            pairs[pi] = (value, value)
-        for ppi in self.circuit.pseudo_primary_inputs:
-            good_value = good_state.get(ppi)
-            faulty_value = faulty_state.get(ppi)
-            if ppi in free_ppi_values and free_ppi_values[ppi] is not None:
-                # A value required from the fast frame: identical in both
-                # machines (the fault effect is only in the explicitly faulty bits).
-                good_value = free_ppi_values[ppi]
-                faulty_value = free_ppi_values[ppi]
-            pairs[ppi] = (good_value, faulty_value)
-        for name in self._order:
-            gate = self.circuit.gate(name)
-            good_inputs = [pairs[s][0] for s in gate.fanin]
-            faulty_inputs = [pairs[s][1] for s in gate.fanin]
-            pairs[name] = (
-                evaluate_gate(gate.gate_type, good_inputs),
-                evaluate_gate(gate.gate_type, faulty_inputs),
+            name, is_pi, preferred = decision_key
+            # Evaluate both alternatives of the new decision in one batch.
+            frames = self._implication.pair_frame_candidates(
+                pi_values, good_state, faulty_state, free_ppi_values,
+                [(name, is_pi, preferred), (name, is_pi, 1 - preferred)],
             )
-        return pairs
+            stack.append(
+                _FrameDecision(name=name, is_pi=is_pi, alternatives=[1 - preferred], frames=frames)
+            )
+            self._set_frame_var(name, is_pi, preferred, pi_values, free_ppi_values)
+            pairs = frames.pairs(0)
 
     def _classify_frame(
         self,
@@ -323,13 +366,12 @@ class PropagationEngine:
                     potential[ppi] = False
             else:
                 potential[ppi] = good_value != faulty_value
-        for name in self._order:
-            gate = self.circuit.gate(name)
+        for name, fanin in self._gate_rows:
             good_value, faulty_value = pairs[name]
             if good_value is not None and faulty_value is not None:
                 potential[name] = good_value != faulty_value
             else:
-                potential[name] = any(potential[s] for s in gate.fanin)
+                potential[name] = any(potential[s] for s in fanin)
         return potential
 
     def _frame_decision(
@@ -363,12 +405,11 @@ class PropagationEngine:
 
     def _d_frontier(self, pairs: Dict[str, PairValue]) -> List[str]:
         frontier = []
-        for name in self._order:
+        for name, fanin in self._gate_rows:
             good_value, faulty_value = pairs[name]
             if good_value is not None and faulty_value is not None:
                 continue
-            gate = self.circuit.gate(name)
-            if any(_differs(*pairs[s]) for s in gate.fanin):
+            if any(_differs(*pairs[s]) for s in fanin):
                 frontier.append(name)
         return frontier
 

@@ -14,6 +14,15 @@ frame value of the corresponding PPO) built into the forward implication.
 
 from repro.tdgen.context import TDgenContext
 from repro.tdgen.simulation import TwoFrameState, simulate_two_frame
+from repro.tdgen.implication import (
+    ImplicationEngine,
+    PackedImplicationEngine,
+    ReferenceImplicationEngine,
+    available_implication_engines,
+    create_implication_engine,
+    register_implication_engine,
+    resolve_implication_backend,
+)
 from repro.tdgen.result import LocalTest, LocalTestStatus
 from repro.tdgen.engine import TDgen
 
@@ -21,6 +30,13 @@ __all__ = [
     "TDgenContext",
     "TwoFrameState",
     "simulate_two_frame",
+    "ImplicationEngine",
+    "ReferenceImplicationEngine",
+    "PackedImplicationEngine",
+    "available_implication_engines",
+    "create_implication_engine",
+    "register_implication_engine",
+    "resolve_implication_backend",
     "LocalTest",
     "LocalTestStatus",
     "TDgen",

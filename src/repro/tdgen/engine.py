@@ -3,11 +3,16 @@
 A PODEM-style branch-and-bound: decisions are made only on primary input
 pairs (four possible values each: ``0``, ``1``, ``R``, ``F``) and on the
 initial-frame values of the pseudo primary inputs (two possible values each).
-Every other signal is derived by the forward implication of
-:mod:`repro.tdgen.simulation`.  Because each decision node enumerates the
-complete domain of its variable, exhausting the decision tree proves the
-fault robustly untestable in the combinational sense; hitting the backtrack
-limit aborts the fault (Table 3's "aborted" column).
+Every other signal is derived by the forward implication of the
+backend-dispatched engine (:mod:`repro.tdgen.implication`): when a decision
+node is opened, *all* alternatives of its variable are submitted as one
+candidate batch — the packed engine implies them in a single word-parallel
+sweep over the compiled netlist, and later backtracks to the node flip to an
+already-implied slot instead of re-running the forward pass.  Because each
+decision node enumerates the complete domain of its variable, exhausting the
+decision tree proves the fault robustly untestable in the combinational
+sense; hitting the backtrack limit aborts the fault (Table 3's "aborted"
+column).
 """
 
 from __future__ import annotations
@@ -39,12 +44,12 @@ from repro.algebra.values import (
 from repro.circuit.netlist import Circuit
 from repro.faults.model import GateDelayFault
 from repro.tdgen.context import TDgenContext
+from repro.tdgen.implication import CandidateStates, create_implication_engine
 from repro.tdgen.result import LocalTest, LocalTestStatus
 from repro.tdgen.simulation import (
     FAULT_MASK,
     TwoFrameState,
     gate_input_sets,
-    simulate_two_frame,
 )
 
 _PI_VALUE_ORDER: Tuple[DelayValue, ...] = (V0, V1, R, F)
@@ -52,11 +57,19 @@ _PI_VALUE_ORDER: Tuple[DelayValue, ...] = (V0, V1, R, F)
 
 @dataclasses.dataclass
 class _Decision:
-    """One node of the decision tree."""
+    """One node of the decision tree.
+
+    ``states`` holds the implication result of every candidate value of the
+    variable (computed in one batch when the node was opened); ``cursor`` is
+    the index of the currently assigned candidate.  Flipping to the next
+    alternative reuses ``states`` instead of re-running the forward pass.
+    """
 
     kind: str  # "pi" or "ppi"
     name: str
     alternatives: List[object]
+    states: CandidateStates
+    cursor: int = 0
 
 
 class TDgen:
@@ -71,6 +84,9 @@ class TDgen:
         max_decisions: hard safety bound on the number of decisions per fault.
         prefer_po_observation: steer propagation towards primary outputs
             before pseudo primary outputs.
+        backend: implication engine backend (see
+            :mod:`repro.tdgen.implication`); ``None`` selects the process
+            default shared with the simulation backends.
     """
 
     def __init__(
@@ -81,6 +97,7 @@ class TDgen:
         max_decisions: int = 20000,
         prefer_po_observation: bool = True,
         context: Optional[TDgenContext] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.context = context or TDgenContext(circuit)
@@ -88,6 +105,9 @@ class TDgen:
         self.backtrack_limit = backtrack_limit
         self.max_decisions = max_decisions
         self.prefer_po_observation = prefer_po_observation
+        self.implication = create_implication_engine(
+            circuit, backend=backend, robust=robust, context=self.context
+        )
         self._ppo_signals = list(dict.fromkeys(circuit.pseudo_primary_outputs))
         self._po_signals = list(dict.fromkeys(circuit.primary_outputs))
 
@@ -136,10 +156,13 @@ class TDgen:
         backtracks = 0
         decisions = 0
 
+        # The implication of the empty assignment; every later state comes
+        # from a decision node's candidate batch, so the forward pass runs
+        # once per *batch*, not once per loop iteration.
+        root_state = self.implication.implicate(pi_values, ppi_initial, fault)
+        state = root_state
+
         while True:
-            state = simulate_two_frame(
-                self.context, pi_values, ppi_initial, fault, robust=self.robust
-            )
             outcome = self._classify(state, fault, constraints, blocked, allow_ppo_observation)
 
             if outcome == "success":
@@ -156,6 +179,8 @@ class TDgen:
                     if decision.alternatives:
                         value = decision.alternatives.pop(0)
                         self._assign(decision, value, pi_values, ppi_initial)
+                        decision.cursor += 1
+                        state = decision.states.state(decision.cursor)
                         backtracks += 1
                         flipped = True
                         break
@@ -198,9 +223,18 @@ class TDgen:
                 self._unassign(decision, pi_values, ppi_initial)
                 if decision.alternatives:
                     self._assign(decision, decision.alternatives.pop(0), pi_values, ppi_initial)
+                    decision.cursor += 1
+                    state = decision.states.state(decision.cursor)
                     backtracks += 1
                 else:
                     stack.pop()
+                    # The assignment is now the popped node's prefix, whose
+                    # implication is the parent's current candidate state.
+                    state = (
+                        stack[-1].states.state(stack[-1].cursor)
+                        if stack
+                        else root_state
+                    )
                 if backtracks > self.backtrack_limit:
                     return LocalTest(
                         fault=fault,
@@ -213,8 +247,20 @@ class TDgen:
             kind, name = decision_key
             domain = list(_PI_VALUE_ORDER) if kind == "pi" else [0, 1]
             ordered = [preferred] + [value for value in domain if value != preferred]
-            decision = _Decision(kind=kind, name=name, alternatives=ordered[1:])
+            # Imply every alternative of the new decision variable in one
+            # batch.  Passing the current state lets the packed engine run
+            # the sweep incrementally over just the variable's influence
+            # cone instead of the whole circuit.
+            states = self.implication.implicate_candidates(
+                pi_values, ppi_initial, fault,
+                [(kind, name, value) for value in ordered],
+                base=state,
+            )
+            decision = _Decision(
+                kind=kind, name=name, alternatives=ordered[1:], states=states
+            )
             self._assign_value(kind, name, ordered[0], pi_values, ppi_initial)
+            state = states.state(0)
             stack.append(decision)
             decisions += 1
             if decisions > self.max_decisions:

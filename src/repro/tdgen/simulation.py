@@ -69,12 +69,26 @@ class TwoFrameState:
         fault_line_set: set of possible values on the fault line itself,
             after injection.
         ppi_pair_sets: the source sets used for the pseudo primary inputs.
+        conflict_signal: first signal (in evaluation order) whose possibility
+            set became empty during the propagation pass, or ``None``.  The
+            pass records it so :meth:`has_conflict` — invoked once per
+            decision by :class:`repro.tdgen.engine.TDgen` — does not have to
+            re-scan every signal set.
+        packed_handle: opaque backref set by the packed implication engine
+            (:mod:`repro.tdgen.implication`) so a follow-up candidate sweep
+            can start from this state's planes and re-evaluate only the
+            decision variable's influence cone.  Never compared and always
+            ``None`` for reference states.
     """
 
     signal_sets: Dict[str, ValueSet]
     frame1: Dict[str, Optional[int]]
     fault_line_set: ValueSet
     ppi_pair_sets: Dict[str, ValueSet]
+    conflict_signal: Optional[str] = None
+    packed_handle: Optional[object] = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     def observation_set(self, signal: str) -> ValueSet:
         """Value set visible at an observation point (PO or PPO signal)."""
@@ -88,8 +102,12 @@ class TwoFrameState:
         return None
 
     def has_conflict(self) -> bool:
-        """True if any signal has an empty possibility set."""
-        return any(value_set == EMPTY_SET for value_set in self.signal_sets.values())
+        """True if any signal has an empty possibility set.
+
+        Answered from the ``conflict_signal`` recorded during the propagation
+        pass — O(1) instead of a scan over every signal set.
+        """
+        return self.conflict_signal is not None
 
 
 def _inject(value_set: ValueSet, fault_type: DelayFaultType) -> ValueSet:
@@ -100,6 +118,49 @@ def _inject(value_set: ValueSet, fault_type: DelayFaultType) -> ValueSet:
     injected = value_set & ~activation.mask
     injected |= fault_type.fault_value.mask
     return injected
+
+
+def branch_fault_key(fault: Optional[GateDelayFault]) -> Optional[Tuple[str, int]]:
+    """The ``(sink gate, pin)`` a branch fault injects at, or ``None``.
+
+    Stem faults (and the fault-free case) have no branch key: their injection
+    happens at the driving signal itself.
+    """
+    if fault is not None and fault.line.kind is LineKind.BRANCH:
+        return (fault.line.sink, fault.line.pin)
+    return None
+
+
+def branch_injected_input_sets(
+    gate,
+    signal_sets: Mapping[str, ValueSet],
+    fault: Optional[GateDelayFault],
+    key: Optional[Tuple[str, int]],
+) -> list:
+    """The value sets a gate actually sees on its inputs, in pin order.
+
+    Re-applies the branch-fault injection on the single faulted pin.  This is
+    the one shared definition of branch injection: the forward pass of
+    :func:`simulate_two_frame` and the engine-facing :func:`gate_input_sets`
+    (D-frontier, backtrace) both call it, so the two views cannot drift.
+
+    Args:
+        gate: the gate whose inputs are read (``repro.circuit`` gate object).
+        signal_sets: current per-signal possibility sets.
+        fault: the targeted fault (``None`` for the fault-free pass).
+        key: precomputed :func:`branch_fault_key` of ``fault``.
+    """
+    input_sets = [signal_sets[source] for source in gate.fanin]
+    if key is not None and key[0] == gate.name:
+        pin = key[1]
+        if (
+            fault is not None
+            and pin is not None
+            and 0 <= pin < len(gate.fanin)
+            and gate.fanin[pin] == fault.line.signal
+        ):
+            input_sets[pin] = _inject(input_sets[pin], fault.fault_type)
+    return input_sets
 
 
 def _ppi_pair_set(initial: Optional[int], final: Optional[int]) -> ValueSet:
@@ -164,32 +225,25 @@ def simulate_two_frame(
 
     # ---- fault injection bookkeeping ---------------------------------------- #
     stem_fault_signal: Optional[str] = None
-    branch_fault_key: Optional[Tuple[str, int]] = None
-    if fault is not None:
-        if fault.line.kind is LineKind.STEM:
-            stem_fault_signal = fault.line.signal
-        else:
-            branch_fault_key = (fault.line.sink, fault.line.pin)
+    if fault is not None and fault.line.kind is LineKind.STEM:
+        stem_fault_signal = fault.line.signal
+    branch_key = branch_fault_key(fault)
 
     # Source signals may themselves be the fault stem (a PI or PPI stem fault).
     if stem_fault_signal is not None and stem_fault_signal in signal_sets:
         signal_sets[stem_fault_signal] = _inject(signal_sets[stem_fault_signal], fault.fault_type)
 
     # ---- pass 2: eight-valued set propagation ------------------------------- #
+    conflict_signal: Optional[str] = None
     for name in context.order:
         gate = circuit.gate(name)
-        input_sets = []
-        for pin, source in enumerate(gate.fanin):
-            source_set = signal_sets[source]
-            if branch_fault_key is not None and branch_fault_key == (name, pin) and (
-                fault is not None and source == fault.line.signal
-            ):
-                source_set = _inject(source_set, fault.fault_type)
-            input_sets.append(source_set)
+        input_sets = branch_injected_input_sets(gate, signal_sets, fault, branch_key)
         output_set = evaluate_gate_sets(gate.gate_type, input_sets, robust)
         if stem_fault_signal == name:
             output_set = _inject(output_set, fault.fault_type)
         signal_sets[name] = output_set
+        if output_set == EMPTY_SET and conflict_signal is None:
+            conflict_signal = name
 
     # ---- fault line view ----------------------------------------------------- #
     if fault is None:
@@ -204,6 +258,7 @@ def simulate_two_frame(
         frame1=frame1,
         fault_line_set=fault_line_set,
         ppi_pair_sets=ppi_pair_sets,
+        conflict_signal=conflict_signal,
     )
 
 
@@ -215,21 +270,15 @@ def gate_input_sets(
 ) -> Dict[int, ValueSet]:
     """The value sets a gate actually sees on its input pins.
 
-    This re-applies the branch-fault injection for the single faulted pin, so
-    the engine's D-frontier and backtrace reason about the same sets the
-    forward pass used.
+    Delegates to :func:`branch_injected_input_sets` — the same helper the
+    forward pass uses — so the engine's D-frontier and backtrace reason about
+    exactly the sets the forward pass propagated.
     """
     gate = context.circuit.gate(gate_name)
-    branch_fault_key: Optional[Tuple[str, int]] = None
-    if fault is not None and fault.line.kind is LineKind.BRANCH:
-        branch_fault_key = (fault.line.sink, fault.line.pin)
-    result: Dict[int, ValueSet] = {}
-    for pin, source in enumerate(gate.fanin):
-        source_set = state.signal_sets[source]
-        if branch_fault_key == (gate_name, pin) and fault is not None and source == fault.line.signal:
-            source_set = _inject(source_set, fault.fault_type)
-        result[pin] = source_set
-    return result
+    input_sets = branch_injected_input_sets(
+        gate, state.signal_sets, fault, branch_fault_key(fault)
+    )
+    return dict(enumerate(input_sets))
 
 
 def good_machine_values(

@@ -22,8 +22,10 @@ machine pass, the per-stem analysis and the PPO confirmation checks — run on
 the compiled netlist through the fault-parallel eight-valued simulator
 (:mod:`repro.fausim.packed_two_frame`): both transition directions of a stem
 share one pass, and all PPO confirmation candidates of a pattern are batched
-into word slots.  The reference interpreter path is kept verbatim behind
-``backend="reference"`` and is the oracle of the differential test-suite.
+into word slots.  The remaining single-injection simulations (and the whole
+``backend="reference"`` oracle path of the differential test-suite) route
+through the shared implication engine (:mod:`repro.tdgen.implication`)
+instead of calling the interpreter directly.
 """
 
 from __future__ import annotations
@@ -38,7 +40,7 @@ from repro.faults.model import DelayFaultType, GateDelayFault
 from repro.fausim.backends import PACKED_BACKEND, resolve_backend
 from repro.fausim.packed_two_frame import PackedTwoFrameSimulator
 from repro.tdgen.context import TDgenContext
-from repro.tdgen.simulation import simulate_two_frame
+from repro.tdgen.implication import create_implication_engine
 from repro.algebra.sets import has_fault_value, is_singleton, single_value
 
 
@@ -81,6 +83,12 @@ class DelayFaultSimulator:
             if self.backend == PACKED_BACKEND
             else None
         )
+        # All remaining single-injection simulations route through the
+        # backend-dispatched implication engine, so the reference path shares
+        # one forward-implication implementation with TDgen and SEMILET.
+        self._implication = create_implication_engine(
+            circuit, backend=self.backend, robust=robust, context=self.context
+        )
 
     # ------------------------------------------------------------------ #
     def simulate(
@@ -109,8 +117,8 @@ class DelayFaultSimulator:
                 dict(pi_values), dict(ppi_initial), (None,)
             ).values_for_pattern(0)
         else:
-            good_state = simulate_two_frame(
-                self.context, dict(pi_values), dict(ppi_initial), fault=None, robust=self.robust
+            good_state = self._implication.implicate(
+                dict(pi_values), dict(ppi_initial), fault=None
             )
             values = {}
             for signal, value_set in good_state.signal_sets.items():
@@ -246,22 +254,18 @@ class DelayFaultSimulator:
                 ),
             )
             return result.fault_effect_mask(observation_point) != 0
-        state = simulate_two_frame(
-            self.context,
+        state = self._implication.implicate(
             pi_values,
             ppi_initial,
             fault=GateDelayFault(Line(stem), DelayFaultType.SLOW_TO_RISE),
-            robust=self.robust,
         )
         observed = state.signal_sets.get(observation_point, 0)
         if is_singleton(observed) and has_fault_value(observed):
             return True
-        state = simulate_two_frame(
-            self.context,
+        state = self._implication.implicate(
             pi_values,
             ppi_initial,
             fault=GateDelayFault(Line(stem), DelayFaultType.SLOW_TO_FALL),
-            robust=self.robust,
         )
         observed = state.signal_sets.get(observation_point, 0)
         return is_singleton(observed) and has_fault_value(observed)
@@ -335,9 +339,7 @@ class DelayFaultSimulator:
         required_ppo_values: Dict[str, int],
     ) -> bool:
         """Exact injection check: observed at the PPO and no state invalidation."""
-        state = simulate_two_frame(
-            self.context, pi_values, ppi_initial, fault=fault, robust=self.robust
-        )
+        state = self._implication.implicate(pi_values, ppi_initial, fault=fault)
         observed = state.signal_sets.get(ppo, 0)
         if not (is_singleton(observed) and has_fault_value(observed)):
             return False
