@@ -26,6 +26,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro import SequentialDelayATPG, format_campaign_table, list_circuits, load_circuit
 from repro.core.reporting import format_untestable_breakdown
 from repro.faults import enumerate_delay_faults, sample_faults
+from repro.orchestrate import run_parallel_campaign
 
 
 def parse_args() -> argparse.Namespace:
@@ -62,13 +63,28 @@ def parse_args() -> argparse.Namespace:
         "--time-limit",
         type=float,
         default=None,
-        help="optional wall-clock limit per circuit in seconds",
+        help="optional wall-clock limit per circuit in seconds (serial runs only)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per circuit (default: 1 = serial); the merged "
+             "result is bit-identical to the serial campaign",
+    )
+    parser.add_argument(
+        "--partition",
+        default="size-aware",
+        choices=("round-robin", "size-aware", "dynamic"),
+        help="fault sharding mode for --jobs > 1 (default: size-aware)",
     )
     return parser.parse_args()
 
 
 def main() -> None:
     args = parse_args()
+    if args.jobs > 1 and args.time_limit is not None:
+        sys.exit("error: --time-limit is not supported with --jobs > 1")
     names = [name.strip() for name in args.circuits.split(",") if name.strip()]
     max_faults = args.max_faults if args.max_faults > 0 else None
 
@@ -78,16 +94,27 @@ def main() -> None:
         print(f"[{name}] {circuit.stats()['gates']} gates, "
               f"{circuit.stats()['flip_flops']} flip-flops, "
               f"{2 * circuit.line_count()} delay faults", flush=True)
-        atpg = SequentialDelayATPG(
-            circuit,
-            robust=not args.non_robust,
-            local_backtrack_limit=args.backtrack_limit,
-            sequential_backtrack_limit=args.backtrack_limit,
-        )
         # A capped run targets a uniform-stride sample of the fault universe so
         # the reported shape stays representative of the whole circuit.
         faults = sample_faults(enumerate_delay_faults(circuit), max_faults)
-        campaign = atpg.run(faults=faults, time_limit_s=args.time_limit)
+        if args.jobs > 1:
+            campaign = run_parallel_campaign(
+                circuit,
+                jobs=args.jobs,
+                faults=faults,
+                partition=args.partition,
+                robust=not args.non_robust,
+                local_backtrack_limit=args.backtrack_limit,
+                sequential_backtrack_limit=args.backtrack_limit,
+            )
+        else:
+            atpg = SequentialDelayATPG(
+                circuit,
+                robust=not args.non_robust,
+                local_backtrack_limit=args.backtrack_limit,
+                sequential_backtrack_limit=args.backtrack_limit,
+            )
+            campaign = atpg.run(faults=faults, time_limit_s=args.time_limit)
         campaign.circuit_name = name
         campaigns.append(campaign)
         row = campaign.as_table3_row()

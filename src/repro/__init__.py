@@ -15,6 +15,7 @@ The public API re-exports the pieces most users need:
 * the fault simulators FAUSIM and TDsim (:mod:`repro.fausim`,
   :mod:`repro.tdsim`),
 * the combined FOGBUSTER flow (:mod:`repro.core`),
+* sharded multi-process campaign orchestration (:mod:`repro.orchestrate`),
 * benchmark circuits (:mod:`repro.data`) and baselines (:mod:`repro.baselines`).
 
 Quickstart::
@@ -75,6 +76,11 @@ from repro.core import (
 )
 from repro.data import list_circuits, load_circuit, circuit_spec
 from repro.baselines import EnhancedScanATPG, RandomSequenceATPG
+from repro.orchestrate import (
+    CampaignOrchestrator,
+    OrchestratorConfig,
+    run_parallel_campaign,
+)
 
 __version__ = "1.0.0"
 
@@ -126,5 +132,8 @@ __all__ = [
     "circuit_spec",
     "EnhancedScanATPG",
     "RandomSequenceATPG",
+    "CampaignOrchestrator",
+    "OrchestratorConfig",
+    "run_parallel_campaign",
     "__version__",
 ]

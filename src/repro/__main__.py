@@ -22,9 +22,15 @@ from repro.circuit.bench import parse_bench_file
 from repro.circuit.gates import GateType
 from repro.algebra.tables import format_truth_table
 from repro.core.flow import SequentialDelayATPG
-from repro.core.reporting import format_campaign_table, format_untestable_breakdown
+from repro.core.reporting import (
+    format_campaign_table,
+    format_shard_summary,
+    format_untestable_breakdown,
+)
 from repro.data import circuit_spec, list_circuits, load_circuit
 from repro.fausim.backends import available_backends
+from repro.orchestrate import CampaignOrchestrator, OrchestratorConfig
+from repro.orchestrate.partition import PARTITION_MODES
 
 
 def _add_campaign_parser(subparsers) -> None:
@@ -34,7 +40,11 @@ def _add_campaign_parser(subparsers) -> None:
     parser.add_argument(
         "--circuits",
         default="s27",
-        help="comma separated benchmark names, or a path to a .bench file",
+        help=(
+            "comma separated benchmark names, or a path to a .bench file; "
+            "'<name>-surrogate' (e.g. s838-surrogate) is accepted as an "
+            "alias for the registry entry"
+        ),
     )
     parser.add_argument("--scale", type=float, default=1.0, help="surrogate size scale")
     parser.add_argument(
@@ -56,31 +66,107 @@ def _add_campaign_parser(subparsers) -> None:
             "'reference' for the per-gate interpreter oracles)"
         ),
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes per circuit (default: 1 = serial). The merged "
+            "result is bit-identical to the serial campaign for any value."
+        ),
+    )
+    parser.add_argument(
+        "--partition",
+        choices=PARTITION_MODES,
+        default="size-aware",
+        help="fault sharding mode for --jobs > 1 (default: size-aware)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign seed from which every worker derives its RNG seed",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="checkpoint every fault outcome to this JSONL journal",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help=(
+            "resume an interrupted campaign from its journal (implies "
+            "--journal PATH; already-recorded faults are not re-targeted)"
+        ),
+    )
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
+    journal_path = args.resume or args.journal
+    if args.resume and args.journal and args.resume != args.journal:
+        print("error: --journal and --resume point at different files", file=sys.stderr)
+        return 2
+    orchestrated = args.jobs > 1 or journal_path is not None
+    if orchestrated and args.time_limit is not None:
+        print("error: --time-limit is not supported with --jobs/--journal", file=sys.stderr)
+        return 2
+
     campaigns = []
+    shard_reports = []
     names = [name.strip() for name in args.circuits.split(",") if name.strip()]
+    max_faults = args.max_faults if args.max_faults > 0 else None
     for name in names:
         if name.endswith(".bench"):
             circuit = parse_bench_file(name)
         else:
             circuit = load_circuit(name, scale=args.scale)
-        atpg = SequentialDelayATPG(
-            circuit,
-            robust=not args.non_robust,
-            local_backtrack_limit=args.backtrack_limit,
-            sequential_backtrack_limit=args.backtrack_limit,
-            backend=args.backend,
-        )
-        campaign = atpg.run(
-            max_target_faults=args.max_faults if args.max_faults > 0 else None,
-            time_limit_s=args.time_limit,
-        )
+        if orchestrated:
+            config = OrchestratorConfig(
+                jobs=args.jobs,
+                partition=args.partition,
+                campaign_seed=args.seed,
+                robust=not args.non_robust,
+                local_backtrack_limit=args.backtrack_limit,
+                sequential_backtrack_limit=args.backtrack_limit,
+                backend=args.backend,
+            )
+            orchestrator = CampaignOrchestrator(
+                circuit,
+                config=config,
+                journal_path=journal_path,
+                resume=args.resume is not None,
+            )
+            campaign = orchestrator.run(max_target_faults=max_faults)
+            if orchestrator.shard_stats:
+                shard_reports.append(
+                    format_shard_summary(
+                        orchestrator.shard_stats,
+                        recomputed=orchestrator.recomputed,
+                        title=f"Shard summary — {campaign.circuit_name}",
+                    )
+                )
+        else:
+            atpg = SequentialDelayATPG(
+                circuit,
+                robust=not args.non_robust,
+                local_backtrack_limit=args.backtrack_limit,
+                sequential_backtrack_limit=args.backtrack_limit,
+                backend=args.backend,
+            )
+            campaign = atpg.run(
+                max_target_faults=max_faults,
+                time_limit_s=args.time_limit,
+            )
         campaigns.append(campaign)
     print(format_campaign_table(campaigns, title="Gate delay fault ATPG results"))
     print()
     print(format_untestable_breakdown(campaigns))
+    for report in shard_reports:
+        print()
+        print(report)
     return 0
 
 

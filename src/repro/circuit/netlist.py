@@ -60,6 +60,25 @@ class Line:
         """True for fanout-branch lines."""
         return self.kind is LineKind.BRANCH
 
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable representation (see :meth:`from_json`)."""
+        payload: Dict[str, object] = {"signal": self.signal, "kind": self.kind.value}
+        if self.kind is LineKind.BRANCH:
+            payload["sink"] = self.sink
+            payload["pin"] = self.pin
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "Line":
+        """Rebuild a :class:`Line` from its :meth:`to_json` representation."""
+        kind = LineKind(payload["kind"])
+        return cls(
+            signal=str(payload["signal"]),
+            kind=kind,
+            sink=payload.get("sink") if kind is LineKind.BRANCH else None,
+            pin=payload.get("pin") if kind is LineKind.BRANCH else None,
+        )
+
 
 @dataclasses.dataclass
 class Gate:

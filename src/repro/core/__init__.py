@@ -13,14 +13,19 @@ from repro.core.results import (
     TestSequence,
     CampaignResult,
 )
-from repro.core.flow import SequentialDelayATPG
+from repro.core.flow import SequentialDelayATPG, credit_fault_result
 from repro.core.verify import (
     FaultGrade,
     VerificationReport,
     grade_test_sequence,
     verify_test_sequence,
 )
-from repro.core.reporting import format_campaign_table, campaign_row
+from repro.core.reporting import (
+    campaign_row,
+    format_campaign_table,
+    format_shard_summary,
+    format_untestable_breakdown,
+)
 
 __all__ = [
     "ClockSchedule",
@@ -30,10 +35,13 @@ __all__ = [
     "TestSequence",
     "CampaignResult",
     "SequentialDelayATPG",
+    "credit_fault_result",
     "verify_test_sequence",
     "grade_test_sequence",
     "VerificationReport",
     "FaultGrade",
     "format_campaign_table",
     "campaign_row",
+    "format_shard_summary",
+    "format_untestable_breakdown",
 ]

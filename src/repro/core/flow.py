@@ -153,40 +153,63 @@ class SequentialDelayATPG:
         fault_list = FaultList(fault_universe)
         campaign = CampaignResult(circuit_name=self.circuit.name, total_faults=len(fault_list))
         start = time.perf_counter()
+        deadline = start + time_limit_s if time_limit_s is not None else None
 
         for fault in fault_universe:
             if fault_list.status(fault) is not FaultStatus.UNTARGETED:
                 continue
             if max_target_faults is not None and campaign.targeted >= max_target_faults:
                 break
-            if time_limit_s is not None and time.perf_counter() - start > time_limit_s:
+            if deadline is not None and time.perf_counter() > deadline:
                 break
 
-            result = self.generate_for_fault(fault)
-            newly_detected = 0
-            if result.status is FaultResultStatus.TESTED:
-                newly_detected += fault_list.mark_tested([fault])
-                if self.enable_fault_simulation and result.sequence is not None:
-                    extra = self._simulate_sequence(result.sequence)
-                    result.additionally_detected = [
-                        detection for detection in extra if detection in fault_list
-                    ]
-                    newly_detected += fault_list.mark_tested(result.additionally_detected)
-            elif result.status is FaultResultStatus.UNTESTABLE:
-                fault_list.mark(fault, FaultStatus.UNTESTABLE)
-            else:
-                fault_list.mark(fault, FaultStatus.ABORTED)
-
+            result = self.target_fault(fault, deadline=deadline)
+            newly_detected = credit_fault_result(result, fault_list)
             campaign.record(result, newly_detected)
 
         campaign.finalize(fault_list.counts(), time.perf_counter() - start)
         return campaign
 
     # ------------------------------------------------------------------ #
+    # single-fault campaign step
+    # ------------------------------------------------------------------ #
+    def target_fault(
+        self, fault: GateDelayFault, deadline: Optional[float] = None
+    ) -> FaultResult:
+        """One reusable campaign step: FOGBUSTER targeting plus fault simulation.
+
+        Runs :meth:`generate_for_fault` and, when a test was produced,
+        fault-simulates the assembled sequence (FAUSIM + TDsim).  The returned
+        result's ``additionally_detected`` holds the *raw* detection list over
+        the whole circuit — :func:`credit_fault_result` later filters it
+        against the campaign's fault universe.  This per-fault step is
+        independent of any campaign state, which is what lets the
+        orchestration layer (:mod:`repro.orchestrate`) ship it to worker
+        processes and still merge a deterministic, serially-identical
+        campaign.
+        """
+        result = self.generate_for_fault(fault, deadline=deadline)
+        if (
+            result.status is FaultResultStatus.TESTED
+            and self.enable_fault_simulation
+            and result.sequence is not None
+        ):
+            result.additionally_detected = self._simulate_sequence(result.sequence)
+        return result
+
+    # ------------------------------------------------------------------ #
     # single-fault FOGBUSTER
     # ------------------------------------------------------------------ #
-    def generate_for_fault(self, fault: GateDelayFault) -> FaultResult:
-        """Run the extended FOGBUSTER algorithm for one fault (Figure 4)."""
+    def generate_for_fault(
+        self, fault: GateDelayFault, deadline: Optional[float] = None
+    ) -> FaultResult:
+        """Run the extended FOGBUSTER algorithm for one fault (Figure 4).
+
+        ``deadline`` is an optional :func:`time.perf_counter` timestamp; it is
+        passed down into every search phase (TDgen and SEMILET), so a campaign
+        time budget bounds even a single slow fault instead of only being
+        checked between faults.  An expired search reports the fault aborted.
+        """
         blocked_ppos: Set[str] = set()
         blocked_states: List[Dict[str, int]] = []
         last_failure = _AttemptFailure(
@@ -196,7 +219,7 @@ class SequentialDelayATPG:
 
         for attempt in range(self.max_local_retries):
             attempts += 1
-            outcome = self._attempt(fault, blocked_ppos, blocked_states)
+            outcome = self._attempt(fault, blocked_ppos, blocked_states, deadline=deadline)
             if isinstance(outcome, FaultResult):
                 outcome.attempts = attempts
                 return outcome
@@ -238,6 +261,7 @@ class SequentialDelayATPG:
         fault: GateDelayFault,
         blocked_ppos: Set[str],
         blocked_states: Optional[List[Dict[str, int]]] = None,
+        deadline: Optional[float] = None,
     ):
         """One pass through the FOGBUSTER phases.
 
@@ -249,6 +273,7 @@ class SequentialDelayATPG:
             fault,
             blocked_observation=sorted(blocked_ppos),
             blocked_states=blocked_states,
+            deadline=deadline,
         )
         if local.status is LocalTestStatus.UNTESTABLE:
             return (
@@ -278,7 +303,9 @@ class SequentialDelayATPG:
                 for ppi in self.circuit.pseudo_primary_inputs
                 if ppi not in good_state
             ]
-            propagation = self.semilet.propagate(good_state, faulty_state, assignable)
+            propagation = self.semilet.propagate(
+                good_state, faulty_state, assignable, deadline=deadline
+            )
             sequential_backtracks += propagation.backtracks
             if not propagation.success:
                 status = (
@@ -313,6 +340,7 @@ class SequentialDelayATPG:
                     required_ppo_values=constraints,
                     blocked_observation=sorted(blocked_ppos),
                     blocked_states=blocked_states,
+                    deadline=deadline,
                 )
                 if revised.status is not LocalTestStatus.SUCCESS:
                     status = (
@@ -355,7 +383,7 @@ class SequentialDelayATPG:
 
         # --- justification of test frames / initialisation ----------------- #
         required_state = local.required_state()
-        synchronization = self.semilet.synchronize(required_state)
+        synchronization = self.semilet.synchronize(required_state, deadline=deadline)
         sequential_backtracks += synchronization.backtracks
         if not synchronization.success:
             status = (
@@ -556,6 +584,32 @@ class SequentialDelayATPG:
             required_ppo_values=required_ppo_values,
         )
         return [detection.fault for detection in detections]
+
+
+def credit_fault_result(result: FaultResult, fault_list: FaultList) -> int:
+    """Fold one per-fault result into a campaign's fault-list bookkeeping.
+
+    This is the serial-order crediting step shared by
+    :meth:`SequentialDelayATPG.run` and the orchestrator's deterministic
+    replay merge (:mod:`repro.orchestrate.coordinator`): the targeted fault is
+    marked with its verdict, ``result.additionally_detected`` (the raw
+    detection list produced by :meth:`SequentialDelayATPG.target_fault`) is
+    filtered in place down to faults of this campaign's universe, and every
+    detection is credited.  Returns how many faults were *newly* marked
+    tested.
+    """
+    if result.status is FaultResultStatus.TESTED:
+        newly = fault_list.mark_tested([result.fault])
+        result.additionally_detected = [
+            detection for detection in result.additionally_detected if detection in fault_list
+        ]
+        newly += fault_list.mark_tested(result.additionally_detected)
+        return newly
+    if result.status is FaultResultStatus.UNTESTABLE:
+        fault_list.mark(result.fault, FaultStatus.UNTESTABLE)
+    else:
+        fault_list.mark(result.fault, FaultStatus.ABORTED)
+    return 0
 
 
 def simulate_state_after_fast(

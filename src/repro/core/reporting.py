@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.results import CampaignResult
 
@@ -22,6 +22,24 @@ def campaign_row(result: CampaignResult) -> Dict[str, object]:
     }
 
 
+def _render_table(
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, object]],
+    title: Optional[str] = None,
+) -> List[str]:
+    """Render rows as a right-aligned fixed-width text table (as lines)."""
+    widths = {column: len(column) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row[column])))
+    lines: List[str] = [title, ""] if title else []
+    lines.append("  ".join(f"{column:>{widths[column]}}" for column in columns))
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append("  ".join(f"{str(row[column]):>{widths[column]}}" for column in columns))
+    return lines
+
+
 def format_campaign_table(results: Sequence[CampaignResult], title: str = "Benchmark results") -> str:
     """Format several campaign results as a fixed-width text table.
 
@@ -30,21 +48,48 @@ def format_campaign_table(results: Sequence[CampaignResult], title: str = "Bench
     vectors included) and CPU time in seconds.
     """
     rows = [campaign_row(result) for result in results]
-    widths = {column: len(column) for column in _TABLE3_COLUMNS}
-    for row in rows:
-        for column in _TABLE3_COLUMNS:
-            widths[column] = max(widths[column], len(str(row[column])))
+    return "\n".join(_render_table(_TABLE3_COLUMNS, rows, title=title))
 
-    def render_row(cells: Iterable[object]) -> str:
-        return "  ".join(
-            f"{str(cell):>{widths[column]}}" for column, cell in zip(_TABLE3_COLUMNS, cells)
+
+_SHARD_COLUMNS = (
+    "shard", "assigned", "targeted", "dropped", "tested", "untstbl", "aborted",
+    "graded", "time[s]",
+)
+
+
+def format_shard_summary(
+    shard_stats: Sequence[Mapping[str, object]],
+    recomputed: int = 0,
+    title: Optional[str] = None,
+) -> str:
+    """Per-shard progress summary of one orchestrated campaign.
+
+    ``shard_stats`` is what :class:`repro.orchestrate.coordinator.
+    CampaignOrchestrator` collects from its workers: per shard the number of
+    assigned faults (``-`` in the dynamic work-queue mode), how many were
+    explicitly targeted vs. dropped by a broadcast sequence, the verdict
+    split, how many foreign sequences the shard fault-simulated and its wall
+    time.  ``recomputed`` is the coordinator's count of faults the replay
+    merge had to recompute serially.
+    """
+    rows: List[Dict[str, object]] = []
+    for stats in shard_stats:
+        assigned = stats.get("assigned")
+        rows.append(
+            {
+                "shard": stats.get("worker", "?"),
+                "assigned": "-" if assigned is None else assigned,
+                "targeted": stats.get("targeted", 0),
+                "dropped": stats.get("dropped", 0),
+                "tested": stats.get("tested", 0),
+                "untstbl": stats.get("untestable", 0),
+                "aborted": stats.get("aborted", 0),
+                "graded": stats.get("graded_sequences", 0),
+                "time[s]": stats.get("seconds", 0),
+            }
         )
-
-    lines: List[str] = [title, ""]
-    lines.append(render_row(_TABLE3_COLUMNS))
-    lines.append("  ".join("-" * widths[column] for column in _TABLE3_COLUMNS))
-    for row in rows:
-        lines.append(render_row(row[column] for column in _TABLE3_COLUMNS))
+    lines = _render_table(_SHARD_COLUMNS, rows, title=title)
+    lines.append(f"replay merge recomputed {recomputed} over-dropped fault(s)")
     return "\n".join(lines)
 
 

@@ -6,7 +6,7 @@ import dataclasses
 import enum
 from typing import Dict, List, Optional
 
-from repro.algebra.values import DelayValue
+from repro.algebra.values import DelayValue, value_from_name
 from repro.core.clocking import ClockSchedule
 from repro.faults.model import FaultStatus, GateDelayFault
 
@@ -65,6 +65,49 @@ class TestSequence:
         """Number of applied patterns, initialisation and propagation included."""
         return len(self.vectors)
 
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable representation (see :meth:`from_json`).
+
+        The clock schedule is not stored explicitly: it is fully determined by
+        the initialisation / propagation frame counts (one slow + one fast
+        local frame in between), so :meth:`from_json` rebuilds it.
+        """
+        return {
+            "fault": self.fault.to_json(),
+            "initialization_vectors": [dict(v) for v in self.initialization_vectors],
+            "v1": dict(self.v1),
+            "v2": dict(self.v2),
+            "propagation_vectors": [dict(v) for v in self.propagation_vectors],
+            "observation_point": self.observation_point,
+            "observed_at_po": self.observed_at_po,
+            "pi_pair_values": {pi: value.name for pi, value in self.pi_pair_values.items()},
+            "ppi_initial_values": dict(self.ppi_initial_values),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "TestSequence":
+        """Rebuild a :class:`TestSequence` from its :meth:`to_json` form."""
+        initialization = [dict(v) for v in payload["initialization_vectors"]]
+        propagation = [dict(v) for v in payload["propagation_vectors"]]
+        return cls(
+            fault=GateDelayFault.from_json(payload["fault"]),
+            initialization_vectors=initialization,
+            v1=dict(payload["v1"]),
+            v2=dict(payload["v2"]),
+            propagation_vectors=propagation,
+            clock_schedule=ClockSchedule.for_sequence(
+                initialization_frames=len(initialization),
+                propagation_frames=len(propagation),
+            ),
+            observation_point=str(payload["observation_point"]),
+            observed_at_po=bool(payload["observed_at_po"]),
+            pi_pair_values={
+                pi: value_from_name(name)
+                for pi, name in payload["pi_pair_values"].items()
+            },
+            ppi_initial_values=dict(payload["ppi_initial_values"]),
+        )
+
 
 @dataclasses.dataclass
 class FaultResult:
@@ -86,6 +129,36 @@ class FaultResult:
 
     def __str__(self) -> str:
         return f"FaultResult({self.fault}, {self.status.value}, phase={self.phase.value})"
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable representation (see :meth:`from_json`)."""
+        return {
+            "fault": self.fault.to_json(),
+            "status": self.status.value,
+            "phase": self.phase.name,
+            "sequence": self.sequence.to_json() if self.sequence is not None else None,
+            "additionally_detected": [f.to_json() for f in self.additionally_detected],
+            "local_backtracks": self.local_backtracks,
+            "sequential_backtracks": self.sequential_backtracks,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "FaultResult":
+        """Rebuild a :class:`FaultResult` from its :meth:`to_json` form."""
+        sequence = payload.get("sequence")
+        return cls(
+            fault=GateDelayFault.from_json(payload["fault"]),
+            status=FaultResultStatus(payload["status"]),
+            phase=FlowPhase[payload["phase"]],
+            sequence=TestSequence.from_json(sequence) if sequence is not None else None,
+            additionally_detected=[
+                GateDelayFault.from_json(f) for f in payload["additionally_detected"]
+            ],
+            local_backtracks=int(payload["local_backtracks"]),
+            sequential_backtracks=int(payload["sequential_backtracks"]),
+            attempts=int(payload["attempts"]),
+        )
 
 
 @dataclasses.dataclass
@@ -164,6 +237,88 @@ class CampaignResult:
                 self.aborted_local += 1
             else:
                 self.aborted_sequential += 1
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable representation (see :meth:`from_json`).
+
+        Sequences are stored once, inside their fault results; standalone
+        entries of :attr:`sequences` (there are none in results produced by
+        the flow) would not survive the round trip.
+        """
+        return {
+            "circuit_name": self.circuit_name,
+            "total_faults": self.total_faults,
+            "tested": self.tested,
+            "untestable": self.untestable,
+            "aborted": self.aborted,
+            "pattern_count": self.pattern_count,
+            "cpu_seconds": self.cpu_seconds,
+            "fault_results": [result.to_json() for result in self.fault_results],
+            "untestable_local": self.untestable_local,
+            "untestable_sequential": self.untestable_sequential,
+            "aborted_local": self.aborted_local,
+            "aborted_sequential": self.aborted_sequential,
+            "targeted": self.targeted,
+            "detected_by_simulation": self.detected_by_simulation,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "CampaignResult":
+        """Rebuild a :class:`CampaignResult` from its :meth:`to_json` form."""
+        fault_results = [FaultResult.from_json(r) for r in payload["fault_results"]]
+        campaign = cls(
+            circuit_name=str(payload["circuit_name"]),
+            total_faults=int(payload["total_faults"]),
+            tested=int(payload["tested"]),
+            untestable=int(payload["untestable"]),
+            aborted=int(payload["aborted"]),
+            pattern_count=int(payload["pattern_count"]),
+            cpu_seconds=float(payload["cpu_seconds"]),
+            fault_results=fault_results,
+            untestable_local=int(payload["untestable_local"]),
+            untestable_sequential=int(payload["untestable_sequential"]),
+            aborted_local=int(payload["aborted_local"]),
+            aborted_sequential=int(payload["aborted_sequential"]),
+            targeted=int(payload["targeted"]),
+            detected_by_simulation=int(payload["detected_by_simulation"]),
+        )
+        campaign.sequences = [
+            result.sequence for result in fault_results if result.sequence is not None
+        ]
+        return campaign
+
+    @classmethod
+    def merge(cls, parts: List["CampaignResult"]) -> "CampaignResult":
+        """Merge partial campaign results over disjoint fault sets.
+
+        Every counter is summed and the per-fault lists are concatenated in
+        input order; ``cpu_seconds`` adds up too (it is *CPU* time — for the
+        wall-clock time of a parallel campaign see the orchestrator, whose
+        merged result measures the coordinator's elapsed time instead).  All
+        parts must describe the same circuit.
+        """
+        if not parts:
+            raise ValueError("cannot merge an empty list of campaign results")
+        names = {part.circuit_name for part in parts}
+        if len(names) != 1:
+            raise ValueError(f"refusing to merge campaigns of different circuits: {sorted(names)}")
+        merged = cls(circuit_name=parts[0].circuit_name, total_faults=0)
+        for part in parts:
+            merged.total_faults += part.total_faults
+            merged.tested += part.tested
+            merged.untestable += part.untestable
+            merged.aborted += part.aborted
+            merged.pattern_count += part.pattern_count
+            merged.cpu_seconds += part.cpu_seconds
+            merged.sequences.extend(part.sequences)
+            merged.fault_results.extend(part.fault_results)
+            merged.untestable_local += part.untestable_local
+            merged.untestable_sequential += part.untestable_sequential
+            merged.aborted_local += part.aborted_local
+            merged.aborted_sequential += part.aborted_sequential
+            merged.targeted += part.targeted
+            merged.detected_by_simulation += part.detected_by_simulation
+        return merged
 
     def finalize(self, fault_status_counts: Dict[str, int], cpu_seconds: float) -> None:
         """Fill in the Table 3 counters from the final fault-list status."""

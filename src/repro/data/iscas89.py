@@ -91,10 +91,22 @@ def list_circuits() -> List[str]:
     return list(TABLE3_ORDER)
 
 
+def _normalize_name(name: str) -> str:
+    """Resolve registry aliases: ``s838-surrogate`` names the ``s838`` entry."""
+    if name.endswith("-surrogate"):
+        return name[: -len("-surrogate")]
+    return name
+
+
 def circuit_spec(name: str) -> BenchmarkSpec:
-    """Interface statistics of a benchmark circuit."""
+    """Interface statistics of a benchmark circuit.
+
+    ``<name>-surrogate`` is accepted as an alias for ``<name>`` (the registry
+    entry already records whether the circuit is an embedded netlist or a
+    generated surrogate).
+    """
     try:
-        return ISCAS89_SPECS[name]
+        return ISCAS89_SPECS[_normalize_name(name)]
     except KeyError as exc:
         raise KeyError(f"unknown benchmark circuit {name!r}; known: {list_circuits()}") from exc
 
@@ -110,6 +122,7 @@ def load_circuit(name: str, scale: float = 1.0, seed: int = 0) -> Circuit:
             ``s27`` is always returned verbatim).
         seed: surrogate generator seed.
     """
+    name = _normalize_name(name)
     spec = circuit_spec(name)
     if not spec.surrogate:
         return parse_bench(S27_BENCH, name="s27")

@@ -74,6 +74,23 @@ class GateDelayFault:
         """The fault-carrying value at the provoked site (``Rc`` or ``Fc``)."""
         return self.fault_type.fault_value
 
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable representation (see :meth:`from_json`)."""
+        return {"line": self.line.to_json(), "type": self.fault_type.value}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "GateDelayFault":
+        """Rebuild a fault from its :meth:`to_json` representation.
+
+        Faults are value types (frozen dataclasses), so a deserialised fault
+        compares and hashes equal to the original — it can be used directly as
+        a :class:`FaultList` key, which is what the campaign journal relies on.
+        """
+        return cls(
+            line=Line.from_json(payload["line"]),
+            fault_type=DelayFaultType(payload["type"]),
+        )
+
 
 class FaultStatus(enum.Enum):
     """Status of a fault during/after the ATPG campaign (Table 3 columns)."""

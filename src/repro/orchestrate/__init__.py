@@ -1,0 +1,62 @@
+"""Campaign orchestration: sharded multi-process ATPG.
+
+The subsystem splits one circuit's fault universe over worker processes
+(:mod:`~repro.orchestrate.partition`), runs the per-fault FOGBUSTER step in
+each worker while exchanging newly generated sequences for cross-shard fault
+dropping (:mod:`~repro.orchestrate.worker`), checkpoints every outcome to a
+JSONL journal (:mod:`~repro.orchestrate.journal`) and merges a final
+:class:`~repro.core.results.CampaignResult` that is bit-identical to the
+serial campaign regardless of worker count or scheduling
+(:mod:`~repro.orchestrate.coordinator`).
+
+Quickstart::
+
+    from repro import load_circuit
+    from repro.orchestrate import run_parallel_campaign
+
+    circuit = load_circuit("s838", scale=0.5)
+    campaign = run_parallel_campaign(circuit, jobs=4)
+    print(campaign.as_table3_row())
+"""
+
+from repro.orchestrate.coordinator import (
+    CampaignOrchestrator,
+    OrchestratorConfig,
+    run_parallel_campaign,
+)
+from repro.orchestrate.journal import (
+    CampaignJournal,
+    JournalSegment,
+    campaign_digest,
+    load_segments,
+    read_journal,
+)
+from repro.orchestrate.partition import (
+    PARTITION_MODES,
+    ShardPlan,
+    derive_shard_seed,
+    fault_weight,
+    partition_round_robin,
+    partition_size_aware,
+    plan_shards,
+    signal_cone_sizes,
+)
+
+__all__ = [
+    "CampaignOrchestrator",
+    "OrchestratorConfig",
+    "run_parallel_campaign",
+    "CampaignJournal",
+    "JournalSegment",
+    "campaign_digest",
+    "load_segments",
+    "read_journal",
+    "PARTITION_MODES",
+    "ShardPlan",
+    "derive_shard_seed",
+    "fault_weight",
+    "partition_round_robin",
+    "partition_size_aware",
+    "plan_shards",
+    "signal_cone_sizes",
+]

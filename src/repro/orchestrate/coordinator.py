@@ -1,0 +1,514 @@
+"""Campaign coordinator: sharded ATPG with a deterministic replay merge.
+
+The orchestration contract is *serial equivalence*: whatever the worker
+count, partitioning mode or scheduling order, the merged
+:class:`~repro.core.results.CampaignResult` is bit-identical (coverage,
+untestable breakdown, pattern counts) to ``SequentialDelayATPG.run`` on the
+same circuit and fault universe.  Three mechanisms combine to get there:
+
+1. **Optimistic parallel execution.**  Workers target their shard's faults in
+   global enumeration order.  Per-fault targeting
+   (:meth:`~repro.core.flow.SequentialDelayATPG.target_fault`) is a pure
+   function of (circuit, settings, fault) — it has no campaign state — so a
+   worker's record is exactly what the serial campaign would have computed.
+
+2. **Cross-shard detection exchange.**  Every generated sequence is broadcast
+   to the other shards, which fault-simulate it (packed
+   :func:`~repro.core.verify.grade_test_sequence`) and drop covered faults
+   before targeting them — restoring the serial campaign's fault dropping.
+   Drops obey the *earlier sequences only* rule (see
+   :mod:`repro.orchestrate.worker`), keeping them inside what the serial
+   order could do.
+
+3. **Deterministic replay merge.**  After the workers finish, the
+   coordinator replays the serial campaign loop over the fault universe in
+   enumeration order, using the recorded results as a memo table: recorded
+   detections (from the serial TDsim criterion) decide fault dropping exactly
+   as ``run()`` would, speculative records the serial order never reaches are
+   discarded, and the rare fault a worker over-dropped (its gross-delay
+   pre-filter fired where TDsim's detections would not) is recomputed
+   serially on the spot.  The merged Table 3 row is therefore independent of
+   worker count and scheduling by construction.
+
+Every record is journaled (JSONL, see :mod:`repro.orchestrate.journal`), so a
+killed campaign resumes: already-recorded faults are not re-targeted, their
+sequences are re-broadcast so the remaining faults still drop, and the final
+replay runs over old and new records together.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.core.flow import SequentialDelayATPG, credit_fault_result
+from repro.core.results import CampaignResult, FaultResult
+from repro.faults.model import FaultList, FaultStatus, GateDelayFault, enumerate_delay_faults
+from repro.fausim.backends import resolve_backend
+from repro.orchestrate.journal import (
+    CampaignJournal,
+    JournalSegment,
+    campaign_digest,
+    load_segments,
+)
+from repro.orchestrate.partition import PARTITION_MODES, derive_shard_seed, plan_shards
+from repro.orchestrate.worker import worker_main
+
+
+@dataclasses.dataclass
+class OrchestratorConfig:
+    """Settings of a sharded campaign.
+
+    The ATPG knobs mirror :class:`~repro.core.flow.SequentialDelayATPG`; the
+    orchestration knobs are the worker count, the partitioning mode
+    (:data:`~repro.orchestrate.partition.PARTITION_MODES`) and the campaign
+    seed from which every worker derives its own RNG seed
+    (:func:`~repro.orchestrate.partition.derive_shard_seed`).
+    """
+
+    jobs: int = 2
+    partition: str = "size-aware"
+    campaign_seed: int = 0
+    robust: bool = True
+    local_backtrack_limit: int = 100
+    sequential_backtrack_limit: int = 100
+    max_local_retries: int = 3
+    fill_value: int = 0
+    verify_sequences: bool = True
+    enable_fault_simulation: bool = True
+    backend: Optional[str] = None
+
+    def atpg_kwargs(self) -> Dict[str, object]:
+        """Keyword arguments for building a worker's ``SequentialDelayATPG``."""
+        return {
+            "robust": self.robust,
+            "local_backtrack_limit": self.local_backtrack_limit,
+            "sequential_backtrack_limit": self.sequential_backtrack_limit,
+            "max_local_retries": self.max_local_retries,
+            "fill_value": self.fill_value,
+            "verify_sequences": self.verify_sequences,
+            "enable_fault_simulation": self.enable_fault_simulation,
+            "backend": self.backend,
+        }
+
+    def digest_payload(self) -> Dict[str, object]:
+        """The settings that affect per-fault results, for the journal digest.
+
+        ``jobs`` and ``partition`` are deliberately absent: a journal may be
+        resumed with a different worker count or scheduling mode because the
+        replay merge makes them irrelevant to the outcome.
+        """
+        return {
+            "robust": self.robust,
+            "local_backtrack_limit": self.local_backtrack_limit,
+            "sequential_backtrack_limit": self.sequential_backtrack_limit,
+            "max_local_retries": self.max_local_retries,
+            "fill_value": self.fill_value,
+            "verify_sequences": self.verify_sequences,
+            "enable_fault_simulation": self.enable_fault_simulation,
+            "backend": resolve_backend(self.backend),
+            "campaign_seed": self.campaign_seed,
+        }
+
+
+def _mp_context():
+    """The multiprocessing context: ``fork`` where available, else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class CampaignOrchestrator:
+    """Run one circuit's ATPG campaign across worker processes.
+
+    After :meth:`run` returns, :attr:`shard_stats` holds one per-worker
+    summary dictionary (for :func:`repro.core.reporting.format_shard_summary`)
+    and :attr:`recomputed` counts the faults the replay merge had to
+    recompute serially because a worker over-dropped them.
+
+    Args:
+        circuit: circuit under test.
+        config: orchestration settings; defaults to
+            :class:`OrchestratorConfig`'s defaults.
+        journal_path: when given, every record is checkpointed to this JSONL
+            file and the final merged result is appended at the end.
+        resume: continue from ``journal_path`` instead of starting over;
+            requires the journal to exist and its digest to match.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: Optional[OrchestratorConfig] = None,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
+    ) -> None:
+        self.circuit = circuit
+        self.config = config or OrchestratorConfig()
+        if self.config.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.config.partition not in PARTITION_MODES:
+            raise ValueError(
+                f"unknown partition mode {self.config.partition!r}; known: {PARTITION_MODES}"
+            )
+        if resume and journal_path is None:
+            raise ValueError("resume requires a journal path")
+        self.journal_path = journal_path
+        self.resume = resume
+        self.shard_stats: List[Dict[str, object]] = []
+        self.recomputed = 0
+        self._fallback_atpg: Optional[SequentialDelayATPG] = None
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        faults: Optional[Sequence[GateDelayFault]] = None,
+        max_target_faults: Optional[int] = None,
+    ) -> CampaignResult:
+        """Run (or resume) the sharded campaign and return the merged result.
+
+        Args:
+            faults: explicit fault universe; defaults to
+                :func:`~repro.faults.model.enumerate_delay_faults`.
+            max_target_faults: cap on explicitly targeted faults, applied in
+                serial enumeration order during the replay merge (workers may
+                speculatively compute more; the surplus is discarded).
+        """
+        started = time.perf_counter()
+        universe = (
+            list(faults) if faults is not None else enumerate_delay_faults(self.circuit)
+        )
+        digest = campaign_digest(
+            self.circuit.name, self.config.digest_payload(), universe
+        )
+
+        records: Dict[int, Dict[str, object]] = {}
+        if self.resume:
+            segment = self._load_resume_segment(digest)
+            if segment is not None:
+                final = segment.final
+                if final is not None and final.get("max_target_faults") == max_target_faults:
+                    # Finished campaign with the same cap: reuse the stored
+                    # merge.  A different cap falls through to a fresh replay
+                    # over the recorded per-fault results instead.
+                    return CampaignResult.from_json(final["campaign"])
+                records.update(segment.fault_records)
+        elif self.journal_path is not None and os.path.exists(self.journal_path):
+            # A fresh run must not append an incompatible header to an
+            # existing journal: the digest clash would make *every* later
+            # resume of the file fail.  Reject up front instead.
+            existing = load_segments(self.journal_path).get(self.circuit.name)
+            if existing is not None and existing.digest != digest:
+                raise ValueError(
+                    f"journal {self.journal_path!r} already holds circuit "
+                    f"{self.circuit.name!r} records from a different campaign "
+                    f"(digest {existing.digest} != {digest}); delete the file "
+                    "or pass a different journal path"
+                )
+
+        journal = CampaignJournal(self.journal_path) if self.journal_path else None
+        try:
+            if journal is not None:
+                journal.append(
+                    {
+                        "type": "campaign",
+                        "circuit": self.circuit.name,
+                        "digest": digest,
+                        "total_faults": len(universe),
+                        "jobs": self.config.jobs,
+                        "partition": self.config.partition,
+                        "campaign_seed": self.config.campaign_seed,
+                        "resumed_records": len(records),
+                    }
+                )
+            remaining = [index for index in range(len(universe)) if index not in records]
+            if remaining:
+                self._run_workers(universe, remaining, records, journal, max_target_faults)
+            campaign = self._replay(universe, records, max_target_faults, journal, started)
+            if journal is not None:
+                journal.append(
+                    {
+                        "type": "result",
+                        "circuit": self.circuit.name,
+                        "digest": digest,
+                        "max_target_faults": max_target_faults,
+                        "campaign": campaign.to_json(),
+                    }
+                )
+            return campaign
+        finally:
+            if journal is not None:
+                journal.close()
+
+    # ------------------------------------------------------------------ #
+    # worker fan-out
+    # ------------------------------------------------------------------ #
+    def _run_workers(
+        self,
+        universe: List[GateDelayFault],
+        remaining: List[int],
+        records: Dict[int, Dict[str, object]],
+        journal: Optional[CampaignJournal],
+        max_target_faults: Optional[int] = None,
+    ) -> None:
+        """Spawn the shard workers and collect one record per remaining fault."""
+        config = self.config
+        jobs = max(1, min(config.jobs, len(remaining)))
+        ctx = _mp_context()
+        if max_target_faults is not None:
+            # Bound the speculative overshoot of a capped campaign: at most
+            # the cap per shard.  The replay merge recomputes any capped-out
+            # fault the serial order does end up targeting.
+            remaining = remaining[: max(max_target_faults, 0) * jobs]
+            if not remaining:
+                return
+            jobs = max(1, min(jobs, len(remaining)))
+        plan = plan_shards(config.partition, remaining, universe, self.circuit, jobs)
+        if plan is not None and max_target_faults is not None:
+            plan = dataclasses.replace(
+                plan,
+                shards=tuple(shard[:max_target_faults] for shard in plan.shards),
+            )
+
+        result_queue = ctx.Queue()
+        broadcast_queues = [ctx.Queue() for _ in range(jobs)]
+        task_queue = None
+        if plan is None:  # dynamic work-queue mode
+            task_queue = ctx.Queue()
+            for index in remaining:
+                task_queue.put(index)
+            for _ in range(jobs):
+                task_queue.put(None)
+
+        # Re-broadcast the journaled sequences of a resumed campaign so the
+        # remaining faults can still be dropped by them.
+        for index in sorted(records):
+            sequence = records[index]["result"].get("sequence")
+            if sequence is not None:
+                for inbox in broadcast_queues:
+                    inbox.put({"index": index, "sequence": sequence})
+
+        processes = []
+        for worker_id in range(jobs):
+            # Dynamic mode: the shared task queue assigns the work, but the
+            # worker still gets the remaining indices as its grading scope so
+            # broadcasts are never graded against already-recorded faults.
+            assigned = list(remaining) if plan is None else list(plan.shards[worker_id])
+            process = ctx.Process(
+                target=worker_main,
+                name=f"repro-shard-{worker_id}",
+                args=(
+                    worker_id,
+                    derive_shard_seed(config.campaign_seed, worker_id),
+                    self.circuit,
+                    universe,
+                    assigned,
+                    task_queue,
+                    result_queue,
+                    broadcast_queues[worker_id],
+                    config.atpg_kwargs(),
+                ),
+            )
+            process.start()
+            processes.append(process)
+
+        self.shard_stats = []
+        done: set = set()
+        #: Every completed (fault or drop) index in arrival order, plus a
+        #: per-worker cursor: each broadcast piggy-backs the indices completed
+        #: since that worker's previous broadcast, so workers — the dynamic
+        #: mode in particular, whose scope is the whole universe — stop
+        #: grading sequences against faults that already have a record.
+        completed_log: List[int] = []
+        sent_upto = [0] * jobs
+        try:
+            while len(done) < jobs:
+                try:
+                    message = result_queue.get(timeout=1.0)
+                except queue_module.Empty:
+                    self._check_liveness(processes, done)
+                    continue
+                kind = message["type"]
+                if kind == "error":
+                    raise RuntimeError(
+                        f"campaign worker {message['worker']} failed:\n{message['error']}"
+                    )
+                if kind == "done":
+                    done.add(message["worker"])
+                    self.shard_stats.append(message["stats"])
+                    continue
+                if journal is not None:
+                    journal.append(message)
+                if kind in ("fault", "drop"):
+                    completed_log.append(int(message["index"]))
+                if kind == "fault":
+                    records[int(message["index"])] = message
+                    sequence = message["result"].get("sequence")
+                    if sequence is not None:
+                        for worker_id, inbox in enumerate(broadcast_queues):
+                            if worker_id == message["worker"] or worker_id in done:
+                                continue
+                            inbox.put(
+                                {
+                                    "index": message["index"],
+                                    "sequence": sequence,
+                                    "completed": completed_log[sent_upto[worker_id]:],
+                                }
+                            )
+                            sent_upto[worker_id] = len(completed_log)
+        finally:
+            for process in processes:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join()
+            for inbox in broadcast_queues:
+                inbox.cancel_join_thread()
+                inbox.close()
+            if task_queue is not None:
+                task_queue.cancel_join_thread()
+                task_queue.close()
+            result_queue.cancel_join_thread()
+            result_queue.close()
+        self.shard_stats.sort(key=lambda stats: stats["worker"])
+
+    @staticmethod
+    def _check_liveness(processes, done) -> None:
+        """Raise if any worker died without reporting a result."""
+        for worker_id, process in enumerate(processes):
+            if worker_id in done or process.is_alive():
+                continue
+            if process.exitcode not in (0, None):
+                raise RuntimeError(
+                    f"campaign worker {worker_id} exited with code {process.exitcode} "
+                    "without reporting a result"
+                )
+
+    # ------------------------------------------------------------------ #
+    # deterministic merge
+    # ------------------------------------------------------------------ #
+    def _replay(
+        self,
+        universe: List[GateDelayFault],
+        records: Dict[int, Dict[str, object]],
+        max_target_faults: Optional[int],
+        journal: Optional[CampaignJournal],
+        started: float,
+    ) -> CampaignResult:
+        """Replay the serial campaign loop over the recorded per-fault results.
+
+        This *is* ``SequentialDelayATPG.run`` with ``target_fault`` memoised
+        by the records: same enumeration order, same skip rule (a fault
+        already credited by an earlier sequence's detections is never
+        targeted), same crediting via
+        :func:`~repro.core.flow.credit_fault_result`.  A fault the serial
+        order needs but no worker computed (over-dropped) is recomputed here.
+        """
+        fault_list = FaultList(universe)
+        campaign = CampaignResult(
+            circuit_name=self.circuit.name, total_faults=len(universe)
+        )
+        self.recomputed = 0
+        for index, fault in enumerate(universe):
+            if fault_list.status(fault) is not FaultStatus.UNTARGETED:
+                continue
+            if max_target_faults is not None and campaign.targeted >= max_target_faults:
+                break
+            record = records.get(index)
+            if record is None:
+                result = self._fallback(fault)
+                self.recomputed += 1
+                if journal is not None:
+                    journal.append(
+                        {
+                            "type": "fault",
+                            "index": index,
+                            "worker": -1,  # recomputed by the coordinator
+                            "result": _result_payload(result),
+                            "detections": [
+                                detection.to_json()
+                                for detection in result.additionally_detected
+                            ],
+                        }
+                    )
+            else:
+                result = FaultResult.from_json(record["result"])
+                result.additionally_detected = [
+                    GateDelayFault.from_json(payload)
+                    for payload in record["detections"]
+                ]
+            newly = credit_fault_result(result, fault_list)
+            campaign.record(result, newly)
+        campaign.finalize(fault_list.counts(), time.perf_counter() - started)
+        return campaign
+
+    def _fallback(self, fault: GateDelayFault) -> FaultResult:
+        """Serially recompute one fault the optimistic execution skipped."""
+        if self._fallback_atpg is None:
+            self._fallback_atpg = SequentialDelayATPG(
+                self.circuit, **self.config.atpg_kwargs()
+            )
+        return self._fallback_atpg.target_fault(fault)
+
+    # ------------------------------------------------------------------ #
+    def _load_resume_segment(self, digest: str) -> Optional[JournalSegment]:
+        """Validate and fetch this circuit's journal segment for a resume."""
+        if not os.path.exists(self.journal_path):
+            raise FileNotFoundError(
+                f"cannot resume: journal {self.journal_path!r} does not exist"
+            )
+        segment = load_segments(self.journal_path).get(self.circuit.name)
+        if segment is None:
+            return None
+        if segment.digest != digest:
+            raise ValueError(
+                f"cannot resume circuit {self.circuit.name!r}: journal digest "
+                f"{segment.digest} does not match this campaign ({digest}) — "
+                "the settings or the fault universe changed"
+            )
+        return segment
+
+
+def _result_payload(result: FaultResult) -> Dict[str, object]:
+    """Serialise a result with its raw detections stripped (stored separately)."""
+    detections = result.additionally_detected
+    result.additionally_detected = []
+    try:
+        return result.to_json()
+    finally:
+        result.additionally_detected = detections
+
+
+def run_parallel_campaign(
+    circuit: Circuit,
+    jobs: Optional[int] = None,
+    faults: Optional[Sequence[GateDelayFault]] = None,
+    max_target_faults: Optional[int] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    config: Optional[OrchestratorConfig] = None,
+    **config_overrides: object,
+) -> CampaignResult:
+    """Convenience wrapper: orchestrate one campaign and return the merge.
+
+    ``config_overrides`` are :class:`OrchestratorConfig` field values (e.g.
+    ``partition="dynamic"``, ``backend="reference"``); ``jobs`` is a plain
+    argument because it is the one everyone sets.  When ``config`` is given,
+    an omitted ``jobs`` keeps the config's worker count.
+    """
+    if jobs is not None:
+        config_overrides["jobs"] = jobs
+    if config is None:
+        config = OrchestratorConfig(**config_overrides)  # type: ignore[arg-type]
+    elif config_overrides:
+        config = dataclasses.replace(config, **config_overrides)  # type: ignore[arg-type]
+    orchestrator = CampaignOrchestrator(
+        circuit, config=config, journal_path=journal_path, resume=resume
+    )
+    return orchestrator.run(faults=faults, max_target_faults=max_target_faults)

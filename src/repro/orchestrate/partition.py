@@ -1,0 +1,189 @@
+"""Fault sharding for multi-process ATPG campaigns.
+
+A campaign over ``enumerate_delay_faults`` is embarrassingly parallel per
+fault except for fault dropping, which the coordinator restores through the
+sequence broadcast (see :mod:`repro.orchestrate.coordinator`).  This module
+only decides *which worker targets which fault*:
+
+``round-robin``
+    Static interleaved split: fault ``i`` goes to shard ``i % jobs``.  Cheap
+    and usually well balanced because neighbouring faults (both transitions
+    of the same line, lines of the same cone) have similar cost.
+
+``size-aware``
+    Static longest-processing-time split over a structural cost estimate
+    (the fanin plus fanout cone size of the fault line): heavy faults are
+    spread first, each onto the currently lightest shard.
+
+``dynamic``
+    No static plan at all — the coordinator feeds a shared work queue and
+    idle workers steal the next untargeted fault, so a shard that finishes
+    early keeps contributing.
+
+Whatever the mode, every shard processes its faults in global enumeration
+order and the coordinator's replay merge makes the final campaign independent
+of the scheduling, so the mode is purely a wall-clock knob.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.levelize import combinational_order
+from repro.circuit.netlist import Circuit
+from repro.faults.model import GateDelayFault
+
+#: The supported partitioning modes, in documentation order.
+PARTITION_MODES: Tuple[str, ...] = ("round-robin", "size-aware", "dynamic")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """Static assignment of fault indices to worker shards.
+
+    ``shards[w]`` holds the global fault-universe indices worker ``w``
+    targets, sorted ascending — workers must process their shard in global
+    enumeration order so that the earlier-sequence drop rule (a fault may
+    only be dropped by a sequence generated for a lower-index fault) mirrors
+    the serial campaign.
+    """
+
+    mode: str
+    shards: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def jobs(self) -> int:
+        """Number of worker shards in the plan."""
+        return len(self.shards)
+
+    @property
+    def fault_count(self) -> int:
+        """Total number of faults distributed over the shards."""
+        return sum(len(shard) for shard in self.shards)
+
+
+def derive_shard_seed(campaign_seed: int, shard_id: int) -> int:
+    """Deterministic per-shard RNG seed derived from one campaign seed.
+
+    Uses :func:`zlib.crc32` over an explicit token (not :func:`hash`, which is
+    randomised per process via ``PYTHONHASHSEED``), so a sharded surrogate
+    campaign is reproducible run-to-run and across machines.  Worker ``w`` of
+    every campaign with the same ``campaign_seed`` always sees the same seed.
+    """
+    token = f"repro-shard:{campaign_seed}:{shard_id}".encode("utf-8")
+    return (zlib.crc32(token) ^ ((campaign_seed * 0x9E3779B1) & 0xFFFFFFFF)) & 0x7FFFFFFF
+
+
+def partition_round_robin(indices: Sequence[int], jobs: int) -> ShardPlan:
+    """Interleave the fault indices over ``jobs`` shards."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    shards: List[List[int]] = [[] for _ in range(jobs)]
+    for position, index in enumerate(indices):
+        shards[position % jobs].append(index)
+    return ShardPlan(
+        mode="round-robin", shards=tuple(tuple(sorted(shard)) for shard in shards)
+    )
+
+
+def signal_cone_sizes(circuit: Circuit) -> Dict[str, int]:
+    """Structural cost estimate per signal: fanin-cone plus fanout-cone size.
+
+    Both cones are computed with bitset dynamic programming over the
+    levelised combinational block (state boundaries cut the cones, matching
+    the per-frame searches of TDgen/SEMILET).  The estimate tracks how much
+    circuit a per-fault search can touch, which is what makes it a usable
+    load-balancing weight for :func:`partition_size_aware`.
+    """
+    order = combinational_order(circuit)
+    sources = list(circuit.primary_inputs) + list(circuit.pseudo_primary_inputs)
+    bit_of: Dict[str, int] = {}
+    for name in sources + order:
+        if name not in bit_of:
+            bit_of[name] = 1 << len(bit_of)
+
+    fanin_cone: Dict[str, int] = {name: bit_of[name] for name in sources}
+    for name in order:
+        cone = bit_of[name]
+        for source in circuit.gate(name).fanin:
+            cone |= fanin_cone.get(source, 0)
+        fanin_cone[name] = cone
+
+    fanout_cone: Dict[str, int] = {}
+    for name in reversed(order):
+        cone = bit_of[name]
+        for sink, _pin in circuit.fanout(name):
+            cone |= fanout_cone.get(sink, 0)
+        fanout_cone[name] = cone
+    for name in sources:
+        cone = bit_of[name]
+        for sink, _pin in circuit.fanout(name):
+            cone |= fanout_cone.get(sink, 0)
+        fanout_cone[name] = cone
+
+    return {
+        name: (fanin_cone.get(name, 0)).bit_count() + (fanout_cone.get(name, 0)).bit_count()
+        for name in bit_of
+    }
+
+
+def fault_weight(cone_sizes: Dict[str, int], fault: GateDelayFault) -> int:
+    """Estimated targeting cost of one fault (see :func:`signal_cone_sizes`)."""
+    weight = 1 + cone_sizes.get(fault.line.signal, 0)
+    if fault.line.is_branch and fault.line.sink is not None:
+        weight += cone_sizes.get(fault.line.sink, 0)
+    return weight
+
+
+def partition_size_aware(
+    indices: Sequence[int],
+    faults: Sequence[GateDelayFault],
+    circuit: Circuit,
+    jobs: int,
+) -> ShardPlan:
+    """Longest-processing-time split over the structural fault weights.
+
+    Faults are assigned heaviest first, each to the currently lightest shard
+    (ties broken by shard id), which is the classic LPT approximation of
+    balanced makespan.  ``indices`` index into ``faults`` — the full campaign
+    universe — so a resumed campaign can partition just its remaining faults.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cone_sizes = signal_cone_sizes(circuit)
+    weighted = sorted(
+        ((fault_weight(cone_sizes, faults[index]), index) for index in indices),
+        key=lambda item: (-item[0], item[1]),
+    )
+    loads = [0] * jobs
+    shards: List[List[int]] = [[] for _ in range(jobs)]
+    for weight, index in weighted:
+        lightest = min(range(jobs), key=lambda shard: (loads[shard], shard))
+        loads[lightest] += weight
+        shards[lightest].append(index)
+    return ShardPlan(
+        mode="size-aware", shards=tuple(tuple(sorted(shard)) for shard in shards)
+    )
+
+
+def plan_shards(
+    mode: str,
+    indices: Sequence[int],
+    faults: Sequence[GateDelayFault],
+    circuit: Circuit,
+    jobs: int,
+) -> Optional[ShardPlan]:
+    """Build the static shard plan for ``mode``; ``None`` for ``dynamic``.
+
+    The dynamic mode has no static plan — the coordinator feeds a shared
+    work queue instead and idle workers steal the next untargeted fault.
+    """
+    if mode not in PARTITION_MODES:
+        raise ValueError(f"unknown partition mode {mode!r}; known: {PARTITION_MODES}")
+    if mode == "round-robin":
+        return partition_round_robin(indices, jobs)
+    if mode == "size-aware":
+        return partition_size_aware(indices, faults, circuit, jobs)
+    return None

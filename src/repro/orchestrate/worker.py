@@ -1,0 +1,245 @@
+"""Worker process entry for sharded ATPG campaigns.
+
+Each worker builds its own :class:`~repro.core.flow.SequentialDelayATPG`
+(compiling the packed netlist once per process) and streams one record per
+fault back to the coordinator over a ``multiprocessing`` queue.  Cross-shard
+fault dropping works through the sequence broadcast: whenever any worker
+generates a test, the coordinator fans the sequence out to every other
+worker, which fault-simulates it with the packed
+:func:`~repro.core.verify.grade_test_sequence` against its own untargeted
+faults and drops the covered ones before ever targeting them.
+
+The drop rule is *earlier sequences only*: fault ``i`` may be dropped by a
+sequence generated for fault ``j`` only if ``j < i`` in the global
+enumeration order.  A serial campaign can only ever drop ``i`` that way, so
+the rule keeps the optimistic parallel execution within what the
+coordinator's replay merge can reproduce exactly (anything over-dropped is
+recomputed serially during the merge; anything under-dropped is merely
+wasted work that the merge discards).
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import random
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.circuit.netlist import Circuit
+from repro.core.flow import SequentialDelayATPG
+from repro.core.results import FaultResultStatus, TestSequence
+from repro.core.verify import grade_test_sequence
+from repro.faults.model import GateDelayFault
+
+
+class _ShardState:
+    """Book-keeping of one worker's view of the campaign."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        circuit: Circuit,
+        faults: Sequence[GateDelayFault],
+        scope: Set[int],
+        backend: Optional[str],
+    ) -> None:
+        self.worker_id = worker_id
+        self.circuit = circuit
+        self.faults = list(faults)
+        self.index_of: Dict[GateDelayFault, int] = {
+            fault: index for index, fault in enumerate(self.faults)
+        }
+        #: Indices this worker may still target (its shard in static modes,
+        #: the whole universe in dynamic mode); shrinks as faults complete.
+        self.scope = set(scope)
+        #: fault index -> index of the earlier fault whose sequence covers it.
+        self.covered: Dict[int, int] = {}
+        self.backend = backend
+        self.graded_sequences = 0
+
+    def absorb_sequence(self, source_index: int, sequence: TestSequence) -> None:
+        """Grade one broadcast sequence and drop the shard faults it covers."""
+        candidates = sorted(
+            index
+            for index in self.scope
+            if index > source_index and index not in self.covered
+        )
+        if not candidates:
+            return
+        grades = grade_test_sequence(
+            self.circuit,
+            sequence,
+            [self.faults[index] for index in candidates],
+            backend=self.backend,
+        )
+        self.graded_sequences += 1
+        for index, grade in zip(candidates, grades):
+            if grade.detected:
+                self.covered[index] = source_index
+
+    def absorb_detections(
+        self, source_index: int, detections: Sequence[GateDelayFault]
+    ) -> None:
+        """Drop shard faults covered by this worker's own new sequence."""
+        for fault in detections:
+            index = self.index_of.get(fault)
+            if index is not None and index > source_index and index in self.scope:
+                self.covered.setdefault(index, source_index)
+
+
+def _drain_broadcasts(state: _ShardState, broadcast_queue) -> None:
+    """Apply every pending broadcast before deciding the next fault."""
+    while True:
+        try:
+            message = broadcast_queue.get_nowait()
+        except queue_module.Empty:
+            return
+        for index in message.get("completed", ()):
+            # Faults another worker already recorded can never be targeted
+            # here, so grading sequences against them would be wasted work.
+            state.scope.discard(index)
+        sequence = TestSequence.from_json(message["sequence"])
+        state.absorb_sequence(int(message["index"]), sequence)
+
+
+def _process_fault(
+    state: _ShardState,
+    atpg: SequentialDelayATPG,
+    index: int,
+    result_queue,
+    stats: Dict[str, int],
+) -> None:
+    """Target one fault (or record its drop) and stream the record back."""
+    state.scope.discard(index)
+    if index in state.covered:
+        stats["dropped"] += 1
+        result_queue.put(
+            {
+                "type": "drop",
+                "index": index,
+                "worker": state.worker_id,
+                "by": state.covered[index],
+            }
+        )
+        return
+
+    result = atpg.target_fault(state.faults[index])
+    detections = result.additionally_detected
+    result.additionally_detected = []
+    stats["targeted"] += 1
+    if result.status is FaultResultStatus.TESTED:
+        stats["tested"] += 1
+        state.absorb_detections(index, detections)
+    elif result.status is FaultResultStatus.UNTESTABLE:
+        stats["untestable"] += 1
+    else:
+        stats["aborted"] += 1
+    result_queue.put(
+        {
+            "type": "fault",
+            "index": index,
+            "worker": state.worker_id,
+            "result": result.to_json(),
+            "detections": [fault.to_json() for fault in detections],
+        }
+    )
+
+
+def worker_main(
+    worker_id: int,
+    seed: int,
+    circuit: Circuit,
+    faults: Sequence[GateDelayFault],
+    assigned: Optional[Sequence[int]],
+    task_queue,
+    result_queue,
+    broadcast_queue,
+    atpg_kwargs: Dict[str, object],
+) -> None:
+    """Process entry: run one shard of an ATPG campaign.
+
+    Args:
+        worker_id: shard id, ``0 .. jobs-1``.
+        seed: per-shard RNG seed (see
+            :func:`repro.orchestrate.partition.derive_shard_seed`); seeds the
+            :mod:`random` module so any stochastic component inside the
+            worker is reproducible run-to-run.
+        circuit: circuit under test (pickled into the process).
+        faults: the full campaign fault universe in enumeration order.
+        assigned: the fault indices this worker may end up targeting — its
+            shard in the static modes, every still-untargeted index in the
+            dynamic mode (where the actual assignment happens via
+            ``task_queue``).
+        task_queue: shared index queue for dynamic mode (``None`` selects the
+            static loop over ``assigned``); a ``None`` entry is the shutdown
+            sentinel.
+        result_queue: stream of fault / drop / done / error records back to
+            the coordinator.
+        broadcast_queue: this worker's inbox of sequences generated by other
+            shards (and, on resume, of journaled sequences).
+        atpg_kwargs: keyword arguments for
+            :class:`~repro.core.flow.SequentialDelayATPG`.
+    """
+    random.seed(seed)
+    parent = os.getppid()
+    start = time.perf_counter()
+    stats: Dict[str, int] = {
+        "targeted": 0,
+        "tested": 0,
+        "untestable": 0,
+        "aborted": 0,
+        "dropped": 0,
+    }
+    try:
+        atpg = SequentialDelayATPG(circuit, **atpg_kwargs)
+        backend = atpg.backend
+        scope = set(assigned) if assigned is not None else set(range(len(faults)))
+        state = _ShardState(worker_id, circuit, faults, scope, backend)
+
+        if task_queue is None:
+            for index in sorted(assigned):
+                if os.getppid() != parent:
+                    return  # orphaned by a killed coordinator: stop promptly
+                _drain_broadcasts(state, broadcast_queue)
+                _process_fault(state, atpg, index, result_queue, stats)
+        else:
+            while True:
+                if os.getppid() != parent:
+                    return  # orphaned by a killed coordinator: stop promptly
+                try:
+                    # A timeout (rather than a blocking get) keeps the orphan
+                    # check live even when the queue's feeder died with the
+                    # coordinator and no sentinel will ever arrive.
+                    index = task_queue.get(timeout=1.0)
+                except queue_module.Empty:
+                    continue
+                if index is None:
+                    break
+                _drain_broadcasts(state, broadcast_queue)
+                _process_fault(state, atpg, index, result_queue, stats)
+
+        result_queue.put(
+            {
+                "type": "done",
+                "worker": worker_id,
+                "stats": {
+                    "worker": worker_id,
+                    "seed": seed,
+                    "assigned": len(assigned) if task_queue is None else None,
+                    "graded_sequences": state.graded_sequences,
+                    "seconds": round(time.perf_counter() - start, 3),
+                    **stats,
+                },
+            }
+        )
+    except BaseException:  # noqa: BLE001 - the coordinator must hear about any death
+        result_queue.put(
+            {
+                "type": "error",
+                "worker": worker_id,
+                "error": traceback.format_exc(),
+            }
+        )
+        raise

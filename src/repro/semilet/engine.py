@@ -59,10 +59,23 @@ class Semilet:
         good_state: SignalValues,
         faulty_state: SignalValues,
         assignable_ppis: Optional[Sequence[str]] = None,
+        deadline: Optional[float] = None,
     ) -> PropagationResult:
-        """Forward time processing: drive the captured fault effect to a PO."""
-        return self.propagation_engine.propagate(good_state, faulty_state, assignable_ppis)
+        """Forward time processing: drive the captured fault effect to a PO.
 
-    def synchronize(self, required_state: Dict[str, int]) -> SynchronizationResult:
-        """Reverse time processing: compute an initialising sequence."""
-        return self.synchronizer.synchronize(required_state)
+        ``deadline`` is an optional :func:`time.perf_counter` timestamp after
+        which the search gives up (reported as aborted).
+        """
+        return self.propagation_engine.propagate(
+            good_state, faulty_state, assignable_ppis, deadline=deadline
+        )
+
+    def synchronize(
+        self, required_state: Dict[str, int], deadline: Optional[float] = None
+    ) -> SynchronizationResult:
+        """Reverse time processing: compute an initialising sequence.
+
+        ``deadline`` is an optional :func:`time.perf_counter` timestamp after
+        which the search gives up (reported as aborted).
+        """
+        return self.synchronizer.synchronize(required_state, deadline=deadline)

@@ -19,6 +19,7 @@ the packed engine evaluates in a single pass over the compiled netlist.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.gates import GateType, controlling_value, inversion_parity
@@ -88,6 +89,7 @@ class FrameJustifier:
         objectives: Dict[str, int],
         fixed_ppis: Optional[Dict[str, int]] = None,
         fixed_pis: Optional[Dict[str, int]] = None,
+        deadline: Optional[float] = None,
     ) -> JustificationResult:
         """Search for an assignment meeting all objectives.
 
@@ -97,6 +99,8 @@ class FrameJustifier:
             fixed_ppis: pseudo primary input values that are already known and
                 must not be re-decided.
             fixed_pis: primary input values that are already fixed.
+            deadline: optional :func:`time.perf_counter` timestamp after which
+                the search gives up; an expired search counts as aborted.
         """
         fixed_ppis = dict(fixed_ppis or {})
         fixed_pis = dict(fixed_pis or {})
@@ -116,6 +120,8 @@ class FrameJustifier:
         frame = root_frame
 
         while True:
+            if deadline is not None and time.perf_counter() > deadline:
+                return JustificationResult(success=False, backtracks=backtracks, aborted=True)
             status = self._classify(frame, objectives)
             if status == "success":
                 return JustificationResult(

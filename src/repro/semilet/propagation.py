@@ -23,6 +23,7 @@ engine evaluates in a single word-parallel pass over the compiled netlist
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.circuit.gates import GateType, controlling_value, inversion_parity
@@ -112,6 +113,11 @@ class PropagationEngine:
         self._gate_rows: List[Tuple[str, Tuple[str, ...]]] = [
             (name, tuple(circuit.gate(name).fanin)) for name in self._order
         ]
+        self._deadline: Optional[float] = None
+
+    def _expired(self) -> bool:
+        """True when the caller-supplied propagation deadline has passed."""
+        return self._deadline is not None and time.perf_counter() > self._deadline
 
     # ------------------------------------------------------------------ #
     # public API
@@ -121,6 +127,7 @@ class PropagationEngine:
         good_state: SignalValues,
         faulty_state: SignalValues,
         assignable_ppis: Optional[Sequence[str]] = None,
+        deadline: Optional[float] = None,
     ) -> PropagationResult:
         """Find input vectors that make the state difference visible at a PO.
 
@@ -132,7 +139,10 @@ class PropagationEngine:
                 values are returned as ``required_first_frame_ppis`` and must
                 then be justified by TDgen in the fast frame (propagation
                 justification).
+            deadline: optional :func:`time.perf_counter` timestamp after which
+                the search gives up; an expired search counts as aborted.
         """
+        self._deadline = deadline
         budget = {"backtracks": 0}
         assignable = set(assignable_ppis or [])
         frames = self._search(
@@ -142,7 +152,7 @@ class PropagationEngine:
             return PropagationResult(
                 success=False,
                 backtracks=budget["backtracks"],
-                aborted=budget["backtracks"] > self.backtrack_limit,
+                aborted=budget["backtracks"] > self.backtrack_limit or self._expired(),
             )
         vectors = [frame.pi_assignment for frame in frames]
         required = dict(frames[0].required_free_ppis) if frames else {}
@@ -166,7 +176,11 @@ class PropagationEngine:
         budget: Dict[str, int],
         assignable: Set[str],
     ) -> Optional[List[FrameSolution]]:
-        if depth >= self.max_frames or budget["backtracks"] > self.backtrack_limit:
+        if (
+            depth >= self.max_frames
+            or budget["backtracks"] > self.backtrack_limit
+            or self._expired()
+        ):
             return None
 
         first_frame_assignable = assignable if depth == 0 else set()
@@ -233,6 +247,8 @@ class PropagationEngine:
         pairs = root_pairs
 
         while True:
+            if self._expired():
+                return None
             status = self._classify_frame(pairs, goal, blocked_targets)
             if status == "success":
                 next_good = {}

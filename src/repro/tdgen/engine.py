@@ -18,6 +18,7 @@ column).
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algebra.sets import (
@@ -110,6 +111,11 @@ class TDgen:
         )
         self._ppo_signals = list(dict.fromkeys(circuit.pseudo_primary_outputs))
         self._po_signals = list(dict.fromkeys(circuit.primary_outputs))
+        self._deadline: Optional[float] = None
+
+    def _expired(self) -> bool:
+        """True when the caller-supplied generation deadline has passed."""
+        return self._deadline is not None and time.perf_counter() > self._deadline
 
     # ------------------------------------------------------------------ #
     # public API
@@ -121,6 +127,7 @@ class TDgen:
         blocked_observation: Sequence[str] = (),
         allow_ppo_observation: bool = True,
         blocked_states: Sequence[Dict[str, int]] = (),
+        deadline: Optional[float] = None,
     ) -> LocalTest:
         """Generate a robust two-pattern test for ``fault``.
 
@@ -140,10 +147,14 @@ class TDgen:
                 is the inter-phase backtracking channel of FOGBUSTER: when the
                 initialisation phase fails, the flow re-enters local test
                 generation with the failing state blocked.
+            deadline: optional :func:`time.perf_counter` timestamp after which
+                the search aborts the fault (campaign time budgets are passed
+                down here so a single slow fault cannot blow the budget).
         """
         constraints = dict(required_ppo_values or {})
         blocked: Set[str] = set(blocked_observation)
         self._blocked_states = [dict(state) for state in blocked_states if state]
+        self._deadline = deadline
 
         pi_values: Dict[str, Optional[DelayValue]] = {
             pi: None for pi in self.circuit.primary_inputs
@@ -163,6 +174,13 @@ class TDgen:
         state = root_state
 
         while True:
+            if self._expired():
+                return LocalTest(
+                    fault=fault,
+                    status=LocalTestStatus.ABORTED,
+                    backtracks=backtracks,
+                    decisions=decisions,
+                )
             outcome = self._classify(state, fault, constraints, blocked, allow_ppo_observation)
 
             if outcome == "success":

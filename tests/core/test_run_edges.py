@@ -1,0 +1,140 @@
+"""Edge-path tests for ``SequentialDelayATPG.run`` and the per-fault step.
+
+Covers the campaign driver paths that the end-to-end s27 tests do not pin
+down: the ``max_target_faults`` cap, the ``time_limit_s`` budget (including
+the regression that the budget must bound a *single* slow fault, not only be
+checked between faults), explicit ``faults=`` subsets, and the
+``target_fault`` / ``credit_fault_result`` split the orchestration layer
+builds on.
+"""
+
+import time
+
+import pytest
+
+from repro.core.flow import SequentialDelayATPG, credit_fault_result
+from repro.core.results import FaultResultStatus
+from repro.data import load_circuit
+from repro.faults.model import FaultList, FaultStatus, enumerate_delay_faults
+
+
+@pytest.fixture(scope="module")
+def s838_small():
+    """A mid-size surrogate with faults that search for many backtracks."""
+    return load_circuit("s838", scale=0.4)
+
+
+# --------------------------------------------------------------------------- #
+# time_limit_s
+# --------------------------------------------------------------------------- #
+def test_time_limit_bounds_a_single_slow_fault(s838_small):
+    """Regression: the budget is passed into the searches as a deadline.
+
+    With a huge backtrack limit the very first fault of this circuit runs for
+    tens of seconds before aborting.  ``run(time_limit_s=...)`` used to check
+    the budget only *between* faults, so that one fault blew the budget
+    unbounded; with the deadline threaded into TDgen/SEMILET the campaign must
+    return promptly and report the in-flight fault aborted.
+    """
+    atpg = SequentialDelayATPG(
+        s838_small, local_backtrack_limit=100000, sequential_backtrack_limit=100000
+    )
+    start = time.perf_counter()
+    campaign = atpg.run(time_limit_s=0.3)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0, f"time_limit_s did not bound the in-flight fault ({elapsed:.1f}s)"
+    assert campaign.targeted >= 1
+    assert campaign.fault_results[0].status is FaultResultStatus.ABORTED
+
+
+def test_expired_deadline_aborts_immediately(s27):
+    atpg = SequentialDelayATPG(s27)
+    fault = enumerate_delay_faults(s27)[0]
+    result = atpg.generate_for_fault(fault, deadline=time.perf_counter() - 1.0)
+    assert result.status is FaultResultStatus.ABORTED
+
+
+def test_zero_time_limit_targets_at_most_one_fault(s27):
+    campaign = SequentialDelayATPG(s27).run(time_limit_s=0.0)
+    assert campaign.targeted <= 1
+    # Every fault still gets a Table 3 verdict (untargeted ones count aborted).
+    assert (
+        campaign.tested + campaign.untestable + campaign.aborted == campaign.total_faults
+    )
+
+
+# --------------------------------------------------------------------------- #
+# max_target_faults
+# --------------------------------------------------------------------------- #
+def test_max_target_faults_counts_targets_not_detections(s27):
+    campaign = SequentialDelayATPG(s27).run(max_target_faults=5)
+    assert campaign.targeted == 5
+    assert len(campaign.fault_results) == 5
+    # Fault simulation may well mark more than five faults tested.
+    assert campaign.tested >= sum(
+        1 for r in campaign.fault_results if r.status is FaultResultStatus.TESTED
+    )
+    assert (
+        campaign.tested + campaign.untestable + campaign.aborted == campaign.total_faults
+    )
+
+
+def test_max_target_faults_zero_targets_nothing(s27):
+    campaign = SequentialDelayATPG(s27).run(max_target_faults=0)
+    assert campaign.targeted == 0
+    assert campaign.tested == 0
+    assert campaign.aborted == campaign.total_faults
+
+
+# --------------------------------------------------------------------------- #
+# explicit fault subsets
+# --------------------------------------------------------------------------- #
+def test_explicit_subset_restricts_universe_and_detections(s27):
+    faults = enumerate_delay_faults(s27)
+    subset = faults[:10]
+    campaign = SequentialDelayATPG(s27).run(faults=subset)
+    assert campaign.total_faults == 10
+    assert campaign.tested + campaign.untestable + campaign.aborted == 10
+    subset_set = set(subset)
+    for result in campaign.fault_results:
+        assert result.fault in subset_set
+        # credit_fault_result filters detections down to the subset universe.
+        for detection in result.additionally_detected:
+            assert detection in subset_set
+
+
+def test_explicit_subset_combined_with_cap(s27):
+    faults = enumerate_delay_faults(s27)
+    campaign = SequentialDelayATPG(s27).run(faults=faults[:10], max_target_faults=2)
+    assert campaign.targeted <= 2
+    assert campaign.total_faults == 10
+
+
+# --------------------------------------------------------------------------- #
+# target_fault / credit_fault_result (the orchestration building blocks)
+# --------------------------------------------------------------------------- #
+def test_target_fault_returns_raw_detections(s27):
+    atpg = SequentialDelayATPG(s27)
+    faults = enumerate_delay_faults(s27)
+    tested = next(
+        result
+        for result in (atpg.target_fault(fault) for fault in faults)
+        if result.status is FaultResultStatus.TESTED
+    )
+    # The raw detection list includes the targeted fault itself.
+    assert tested.fault in tested.additionally_detected
+
+
+def test_credit_fault_result_matches_serial_bookkeeping(s27):
+    atpg = SequentialDelayATPG(s27)
+    faults = enumerate_delay_faults(s27)
+    fault_list = FaultList(faults)
+    result = atpg.target_fault(faults[0])
+    newly = credit_fault_result(result, fault_list)
+    if result.status is FaultResultStatus.TESTED:
+        assert newly == len(set(result.additionally_detected) | {result.fault})
+        assert fault_list.status(faults[0]) is FaultStatus.TESTED
+        # Crediting the same result again marks nothing new.
+        assert credit_fault_result(result, fault_list) == 0
+    else:
+        assert newly == 0

@@ -8,6 +8,7 @@ from repro.core.clocking import ClockSchedule
 from repro.core.reporting import (
     campaign_row,
     format_campaign_table,
+    format_shard_summary,
     format_untestable_breakdown,
 )
 from repro.core.results import (
@@ -206,3 +207,25 @@ def test_format_untestable_breakdown():
     text = format_untestable_breakdown([campaign])
     assert "s27" in text
     assert "4" in text and "7" in text
+
+
+def test_format_shard_summary_renders_worker_stats():
+    stats = [
+        {
+            "worker": 0, "assigned": 13, "targeted": 5, "dropped": 8,
+            "tested": 1, "untestable": 2, "aborted": 2,
+            "graded_sequences": 6, "seconds": 0.25,
+        },
+        {
+            "worker": 1, "assigned": None, "targeted": 4, "dropped": 9,
+            "tested": 4, "untestable": 0, "aborted": 0,
+            "graded_sequences": 3, "seconds": 0.5,
+        },
+    ]
+    text = format_shard_summary(stats, recomputed=2, title="Shard summary — s27")
+    assert "Shard summary — s27" in text
+    assert "shard" in text and "dropped" in text and "graded" in text
+    assert "-" in text  # dynamic-mode shard shows no assigned count
+    assert "recomputed 2" in text
+    lines = text.splitlines()
+    assert len(lines) == 2 + 2 + len(stats) + 1  # title+blank, header+rule, rows, footer

@@ -8,6 +8,28 @@ from repro.data import circuit_spec, generate_surrogate, list_circuits, load_cir
 from repro.data.iscas89 import ISCAS89_SPECS, TABLE3_ORDER
 
 
+def test_surrogate_alias_names_the_same_circuit():
+    """``<name>-surrogate`` must resolve to the identical registry entry.
+
+    The surrogate generator is seeded from the circuit name, so the alias has
+    to be normalised *before* generation or it would silently produce a
+    different netlist than ``<name>``.
+    """
+    assert circuit_spec("s838-surrogate") is circuit_spec("s838")
+    direct = load_circuit("s838", scale=0.2)
+    aliased = load_circuit("s838-surrogate", scale=0.2)
+    assert aliased.name == direct.name
+    assert [gate.name for gate in aliased.gates.values()] == [
+        gate.name for gate in direct.gates.values()
+    ]
+    assert [gate.fanin for gate in aliased.gates.values()] == [
+        gate.fanin for gate in direct.gates.values()
+    ]
+    assert load_circuit("s27-surrogate").name == "s27"
+    with pytest.raises(KeyError):
+        circuit_spec("s9999-surrogate")
+
+
 def test_registry_lists_all_table3_circuits():
     names = list_circuits()
     assert names == TABLE3_ORDER

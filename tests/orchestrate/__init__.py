@@ -1,0 +1,1 @@
+"""Tests of the campaign orchestration subsystem."""

@@ -1,0 +1,88 @@
+"""Tests of the fault sharder and the per-shard seed derivation."""
+
+import pytest
+
+from repro.faults.model import enumerate_delay_faults
+from repro.orchestrate.partition import (
+    PARTITION_MODES,
+    derive_shard_seed,
+    fault_weight,
+    partition_round_robin,
+    partition_size_aware,
+    plan_shards,
+    signal_cone_sizes,
+)
+
+
+def _assert_exact_cover(plan, indices):
+    seen = [index for shard in plan.shards for index in shard]
+    assert sorted(seen) == sorted(indices), "shards must cover every index exactly once"
+    for shard in plan.shards:
+        assert list(shard) == sorted(shard), "shards must be sorted ascending"
+
+
+def test_round_robin_covers_and_interleaves():
+    plan = partition_round_robin(range(10), 3)
+    _assert_exact_cover(plan, range(10))
+    assert plan.jobs == 3
+    assert plan.fault_count == 10
+    assert plan.shards[0] == (0, 3, 6, 9)
+    assert plan.shards[1] == (1, 4, 7)
+    assert plan.shards[2] == (2, 5, 8)
+
+
+def test_round_robin_with_more_jobs_than_faults():
+    plan = partition_round_robin(range(2), 4)
+    _assert_exact_cover(plan, range(2))
+    assert plan.shards[2] == () and plan.shards[3] == ()
+
+
+def test_size_aware_covers_and_balances(s27):
+    faults = enumerate_delay_faults(s27)
+    indices = list(range(len(faults)))
+    plan = partition_size_aware(indices, faults, s27, 4)
+    _assert_exact_cover(plan, indices)
+    cone_sizes = signal_cone_sizes(s27)
+    loads = [
+        sum(fault_weight(cone_sizes, faults[index]) for index in shard)
+        for shard in plan.shards
+    ]
+    # LPT keeps the makespan within (heaviest single fault) of the mean.
+    heaviest = max(fault_weight(cone_sizes, fault) for fault in faults)
+    assert max(loads) - min(loads) <= heaviest
+
+
+def test_size_aware_handles_subset_of_universe(s27):
+    faults = enumerate_delay_faults(s27)
+    subset = list(range(0, len(faults), 3))
+    plan = partition_size_aware(subset, faults, s27, 2)
+    _assert_exact_cover(plan, subset)
+
+
+def test_cone_sizes_are_positive_and_complete(s27):
+    cone_sizes = signal_cone_sizes(s27)
+    for signal in s27.primary_inputs:
+        assert cone_sizes[signal] >= 2  # at least itself in both cones
+    for fault in enumerate_delay_faults(s27):
+        assert fault_weight(cone_sizes, fault) > 0
+
+
+def test_plan_shards_dispatch(s27):
+    faults = enumerate_delay_faults(s27)
+    indices = list(range(len(faults)))
+    assert plan_shards("round-robin", indices, faults, s27, 2).mode == "round-robin"
+    assert plan_shards("size-aware", indices, faults, s27, 2).mode == "size-aware"
+    assert plan_shards("dynamic", indices, faults, s27, 2) is None
+    with pytest.raises(ValueError):
+        plan_shards("nope", indices, faults, s27, 2)
+    with pytest.raises(ValueError):
+        partition_round_robin(indices, 0)
+    assert set(PARTITION_MODES) == {"round-robin", "size-aware", "dynamic"}
+
+
+def test_shard_seeds_are_deterministic_and_distinct():
+    seeds = [derive_shard_seed(7, shard) for shard in range(16)]
+    assert seeds == [derive_shard_seed(7, shard) for shard in range(16)]
+    assert len(set(seeds)) == 16, "shards of one campaign must not share a seed"
+    # A different campaign seed reseeds every shard.
+    assert all(derive_shard_seed(8, shard) != seeds[shard] for shard in range(16))

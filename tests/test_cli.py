@@ -97,6 +97,61 @@ def test_campaign_from_bench_file(tmp_path, capsys):
     assert "mini" in out
 
 
+def test_campaign_jobs4_row_matches_serial(capsys):
+    """The acceptance check: ``--jobs 4`` must print the serial Table 3 rows.
+
+    Uses the literal ``s27,s838-surrogate`` circuit pairing (down-scaled so
+    the test stays fast); everything except the wall-clock column must be
+    identical, untestable breakdown included.
+    """
+    code, parallel_out = run_cli(
+        capsys,
+        "campaign",
+        "--circuits", "s27,s838-surrogate",
+        "--scale", "0.12",
+        "--jobs", "4",
+    )
+    assert code == 0
+    assert "Shard summary" in parallel_out
+    code, serial_out = run_cli(
+        capsys,
+        "campaign",
+        "--circuits", "s27,s838-surrogate",
+        "--scale", "0.12",
+        "--jobs", "1",
+    )
+    assert code == 0
+    parallel_tables = parallel_out.split("Shard summary")[0].strip()
+    assert _without_timings(parallel_tables) == _without_timings(serial_out.strip())
+
+
+def test_campaign_journal_and_resume(tmp_path, capsys):
+    journal = str(tmp_path / "campaign.jsonl")
+    code, first_out = run_cli(
+        capsys, "campaign", "--circuits", "s27", "--jobs", "2", "--journal", journal
+    )
+    assert code == 0
+    # Resuming the finished journal reuses the stored result.
+    code, resumed_out = run_cli(
+        capsys, "campaign", "--circuits", "s27", "--resume", journal
+    )
+    assert code == 0
+    first_table = first_out.split("Shard summary")[0].strip()
+    assert _without_timings(resumed_out.strip()) == _without_timings(first_table)
+
+
+def test_campaign_rejects_time_limit_with_jobs(capsys):
+    code = main(["campaign", "--circuits", "s27", "--jobs", "2", "--time-limit", "1"])
+    assert code == 2
+
+
+def test_campaign_rejects_conflicting_journal_paths(capsys):
+    code = main(
+        ["campaign", "--circuits", "s27", "--journal", "a.jsonl", "--resume", "b.jsonl"]
+    )
+    assert code == 2
+
+
 def test_unknown_circuit_raises():
     with pytest.raises(KeyError):
         main(["campaign", "--circuits", "s9999"])
