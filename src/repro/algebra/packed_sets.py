@@ -172,6 +172,8 @@ class PackedSetSimulator:
         stem_moves: Optional[Mapping[int, Sequence[Move]]] = None,
         branch_moves: Optional[Mapping[int, Sequence[Move]]] = None,
         gate_indices: Optional[Sequence[int]] = None,
+        base_sets: Optional[Sequence[ValueSet]] = None,
+        changed_slots: Optional[Sequence[int]] = None,
     ) -> PackedSetResult:
         """Run the gate program over pre-loaded source set planes.
 
@@ -190,6 +192,17 @@ class PackedSetSimulator:
                 ascending order (incremental cone evaluation); ``None`` runs
                 the full program.  Every fanin read outside the subset must
                 already hold valid planes.
+            base_sets: per-slot sets of the conflict-free *parent* state an
+                incremental sweep starts from.  Enables event-driven change
+                tracking: a gate none of whose inputs changed relative to
+                the parent is skipped outright (its planes entry stays
+                ``None`` and readers fall back to the parent column), and a
+                gate whose result equals the parent's broadcast does not
+                wake its fanout.  Requires ``changed_slots``.
+            changed_slots: the source slots whose loaded planes may differ
+                from the parent column (the decision variable, re-coupled
+                state registers); the transitive wavefront is derived from
+                them.
 
         Returns:
             The evaluated planes plus the per-slot conflict bookkeeping (the
@@ -213,75 +226,174 @@ class PackedSetSimulator:
         has_stem_moves = bool(stem_moves)
         ops = compiled.ops
         indices = range(len(ops)) if gate_indices is None else gate_indices
+
+        # Per-slot cache of the nonzero (plane index, plane) entries.  Most
+        # possibility sets hold one to four values, so iterating only the
+        # occupied planes beats scanning all 8x8 plane pairs per gate; the
+        # scan that builds an entry list is paid once per slot per sweep and
+        # reused by every fanout read.  The cache lookups are inlined in the
+        # loop below — a helper call per fanin read costs more than the scan
+        # it saves.
+        nonzero: List[Optional[List[Tuple[int, int]]]] = [None] * len(planes)
+        branch_positions = frozenset(branch_moves) if has_branch_moves else frozenset()
+
+        # Event-driven mode: gates are evaluated only when an input sits on
+        # the change wavefront seeded by ``changed_slots``; everything else
+        # keeps its ``None`` planes entry (the parent column answers reads).
+        tracking = base_sets is not None
+        changed: Optional[bytearray] = None
+        if tracking:
+            changed = bytearray(len(planes))
+            for slot in changed_slots or ():
+                changed[slot] = 1
+
+        def base_entries(slot: int) -> List[Tuple[int, int]]:
+            """Broadcast entries of an unchanged slot (the parent's value)."""
+            entries = []
+            remaining = base_sets[slot]
+            while remaining:
+                low = remaining & -remaining
+                entries.append((low.bit_length() - 1, full))
+                remaining ^= low
+            return entries
+
+        def source_of(slot: int) -> SetPlanes:
+            """Plane list of a fanin slot, materialising the parent broadcast."""
+            source = planes[slot]
+            if source is None:
+                source = [0] * NUM_PLANES
+                for i, p in base_entries(slot):
+                    source[i] = p
+            return source
+
+        def injected_entries(position: int) -> List[Tuple[int, int]]:
+            """Nonzero planes of one branch-injected (gate, pin) read."""
+            source = list(source_of(fanin_flat[position]))
+            for move in branch_moves[position]:
+                apply_move(source, move)
+            return [(i, p) for i, p in enumerate(source) if p]
+
         for index in indices:
-            op = ops[index]
             start = offsets[index]
             end = offsets[index + 1]
 
-            if has_branch_moves:
-                input_planes: List[SetPlanes] = []
+            if tracking:
+                touched = False
                 for position in range(start, end):
-                    source = planes[fanin_flat[position]]
-                    moves = branch_moves.get(position)
-                    if moves:
-                        source = list(source)
-                        for move in moves:
-                            apply_move(source, move)
-                    input_planes.append(source)
-            else:
-                input_planes = [
-                    planes[fanin_flat[position]] for position in range(start, end)
-                ]
+                    if changed[fanin_flat[position]]:
+                        touched = True
+                        break
+                if not touched:
+                    # No input on the wavefront: the parent's value stands.
+                    continue
 
-            if op == OP_NOT:
-                acc = packed_not(input_planes[0])
-            elif op == OP_BUF:
-                acc = list(input_planes[0])
-            else:
-                # The pairwise fold is inlined (rather than calling
-                # :func:`repro.algebra.packed.packed_pair` per step) to keep
-                # the hot loop free of per-gate function-call overhead; the
-                # final step's table carries any inverter permutation.
-                base_table, last_table = tables[op]
-                arity = end - start
-                if arity == 2:
-                    # Two-input gates dominate; evaluate without any
-                    # intermediate list building.
-                    a_planes = input_planes[0]
-                    b_planes = input_planes[1]
-                    acc = [0] * NUM_PLANES
-                    for a_index in range(NUM_PLANES):
-                        plane_a = a_planes[a_index]
-                        if plane_a:
-                            row = last_table[a_index]
-                            for b_index in range(NUM_PLANES):
-                                plane_b = b_planes[b_index]
-                                if plane_b:
-                                    both = plane_a & plane_b
-                                    if both:
-                                        acc[row[b_index]] |= both
-                elif arity == 1:
-                    source = input_planes[0]
+            op = ops[index]
+            arity = end - start
+
+            if arity == 1:
+                if start in branch_positions:
+                    source = [0] * NUM_PLANES
+                    for i, p in injected_entries(start):
+                        source[i] = p
+                elif tracking:
+                    source = source_of(fanin_flat[start])
+                else:
+                    source = planes[fanin_flat[start]]
+                if op == OP_NOT:
+                    acc = packed_not(source)
+                elif op == OP_BUF:
+                    acc = list(source)
+                else:
+                    base_table, last_table = tables[op]
                     acc = (
                         list(source) if base_table is last_table else packed_not(source)
                     )
+            elif arity == 2:
+                # Two-input gates dominate; fuse over the occupied planes
+                # only.  The fold is inlined (rather than calling
+                # :func:`repro.algebra.packed.packed_pair` per step) to keep
+                # the hot loop free of per-gate function-call overhead; the
+                # final step's table carries any inverter permutation.
+                last_table = tables[op][1]
+                position_b = start + 1
+                if start in branch_positions:
+                    a_entries = injected_entries(start)
                 else:
-                    acc = input_planes[0]
-                    final_step = arity - 1
-                    for step in range(1, arity):
-                        table = last_table if step == final_step else base_table
-                        nxt = input_planes[step]
-                        folded = [0] * NUM_PLANES
-                        for a_index, plane_a in enumerate(acc):
-                            if plane_a:
-                                row = table[a_index]
-                                for b_index in range(NUM_PLANES):
-                                    plane_b = nxt[b_index]
-                                    if plane_b:
-                                        both = plane_a & plane_b
-                                        if both:
-                                            folded[row[b_index]] |= both
+                    slot = fanin_flat[start]
+                    a_entries = nonzero[slot]
+                    if a_entries is None:
+                        source = planes[slot]
+                        a_entries = (
+                            base_entries(slot)
+                            if source is None
+                            else [(i, p) for i, p in enumerate(source) if p]
+                        )
+                        nonzero[slot] = a_entries
+                if position_b in branch_positions:
+                    b_entries = injected_entries(position_b)
+                else:
+                    slot = fanin_flat[position_b]
+                    b_entries = nonzero[slot]
+                    if b_entries is None:
+                        source = planes[slot]
+                        b_entries = (
+                            base_entries(slot)
+                            if source is None
+                            else [(i, p) for i, p in enumerate(source) if p]
+                        )
+                        nonzero[slot] = b_entries
+                acc = [0] * NUM_PLANES
+                if b_entries:
+                    for a_index, plane_a in a_entries:
+                        row = last_table[a_index]
+                        for b_index, plane_b in b_entries:
+                            both = plane_a & plane_b
+                            if both:
+                                acc[row[b_index]] |= both
+            else:
+                base_table, last_table = tables[op]
+                if start in branch_positions:
+                    acc_entries = injected_entries(start)
+                else:
+                    slot = fanin_flat[start]
+                    acc_entries = nonzero[slot]
+                    if acc_entries is None:
+                        source = planes[slot]
+                        acc_entries = (
+                            base_entries(slot)
+                            if source is None
+                            else [(i, p) for i, p in enumerate(source) if p]
+                        )
+                        nonzero[slot] = acc_entries
+                final_step = arity - 1
+                for step in range(1, arity):
+                    table = last_table if step == final_step else base_table
+                    position = start + step
+                    if position in branch_positions:
+                        nxt_entries = injected_entries(position)
+                    else:
+                        slot = fanin_flat[position]
+                        nxt_entries = nonzero[slot]
+                        if nxt_entries is None:
+                            source = planes[slot]
+                            nxt_entries = (
+                                base_entries(slot)
+                                if source is None
+                                else [(i, p) for i, p in enumerate(source) if p]
+                            )
+                            nonzero[slot] = nxt_entries
+                    folded = [0] * NUM_PLANES
+                    if nxt_entries:
+                        for a_index, plane_a in acc_entries:
+                            row = table[a_index]
+                            for b_index, plane_b in nxt_entries:
+                                both = plane_a & plane_b
+                                if both:
+                                    folded[row[b_index]] |= both
+                    if step == final_step:
                         acc = folded
+                    else:
+                        acc_entries = [(i, p) for i, p in enumerate(folded) if p]
 
             out = outputs[index]
             if has_stem_moves:
@@ -290,6 +402,16 @@ class PackedSetSimulator:
                     for move in moves:
                         apply_move(acc, move)
             planes[out] = acc
+            nonzero[out] = None
+            if tracking:
+                # Wake the fanout only when the result actually left the
+                # parent's value (the wavefront dies where sets converge).
+                base_value = base_sets[out]
+                for value_index in range(NUM_PLANES):
+                    expected = full if (base_value >> value_index) & 1 else 0
+                    if acc[value_index] != expected:
+                        changed[out] = 1
+                        break
 
             live = (
                 acc[0] | acc[1] | acc[2] | acc[3]

@@ -150,10 +150,11 @@ def backward_input_sets(
 
     For every input *i*, keep only the values ``v`` for which some choice of
     the other inputs (within their current sets) makes the gate output fall in
-    ``output_set``.  Exact but exponential in fanin; fanins above a small
-    bound fall back to no pruning, which is sound (never removes a possible
-    value).  Results are memoised — the key is a handful of small ints, and
-    the searching engines re-pose the same pruning queries once per decision.
+    ``output_set``.  Computed exactly via prefix/suffix fold images (see
+    :func:`_backward_input_sets_uncached`); fanins above a small bound fall
+    back to no pruning, which is sound (never removes a possible value).
+    Results are memoised — the key is a handful of small ints, and the
+    searching engines re-pose the same pruning queries once per decision.
     """
     arity = len(input_sets)
     if arity > 4:
@@ -169,13 +170,55 @@ def backward_input_sets(
     return result
 
 
+#: Multi-input gate type -> (pairwise fold core, invert the folded result),
+#: matching :func:`repro.algebra.tables.evaluate_delay_gate` exactly.
+_FOLD_CORE: Dict[GateType, Tuple[GateType, bool]] = {
+    GateType.AND: (GateType.AND, False),
+    GateType.NAND: (GateType.AND, True),
+    GateType.OR: (GateType.OR, False),
+    GateType.NOR: (GateType.OR, True),
+    GateType.XOR: (GateType.XOR, False),
+    GateType.XNOR: (GateType.XOR, True),
+}
+
+_NOT_IMAGE_CACHE: Dict[ValueSet, ValueSet] = {}
+
+
+def _not_image(value_set: ValueSet) -> ValueSet:
+    """Image of a value set under the inverter table (memoised).
+
+    The inverter is an involution, so the image doubles as the preimage:
+    ``reduce(...) in _not_image(out)`` iff ``not1(reduce(...)) in out``.
+    """
+    cached = _NOT_IMAGE_CACHE.get(value_set)
+    if cached is not None:
+        return cached
+    result = 0
+    for value in members(value_set):
+        result |= evaluate_delay_gate(GateType.NOT, (value,)).mask
+    _NOT_IMAGE_CACHE[value_set] = result
+    return result
+
+
 def _backward_input_sets_uncached(
     gate_type: GateType,
     input_sets: Sequence[ValueSet],
     output_set: ValueSet,
     robust: bool,
 ) -> List[ValueSet]:
-    """The uncached pruning computation behind :func:`backward_input_sets`."""
+    """The uncached pruning computation behind :func:`backward_input_sets`.
+
+    An input value ``v`` at position ``i`` survives iff some choice of the
+    other inputs makes the gate's left-fold land in the output set.  Because
+    every input is consumed exactly once by the fold, the set of reachable
+    intermediate results is exactly the pairwise fold *image* — so instead of
+    enumerating combinations, the fold image of the prefix inputs is computed
+    once, extended by the candidate value, and folded through the suffix
+    inputs (the fold order is preserved throughout: the non-robust XOR table
+    is not associative, so reordering would change results).  This is
+    value-for-value identical to the historical exhaustive recursion, which
+    the differential suite keeps as its oracle.
+    """
     arity = len(input_sets)
     if arity == 1:
         allowed = 0
@@ -188,44 +231,32 @@ def _backward_input_sets_uncached(
         # Sound fallback: report the unchanged sets.
         return list(input_sets)
 
+    core, invert = _FOLD_CORE[gate_type]
+    core_output_set = _not_image(output_set) if invert else output_set
+
+    # prefixes[i] is the fold image of inputs[0 .. i-1] (unused for i == 0).
+    prefixes: List[ValueSet] = [0] * arity
+    accumulated = input_sets[0]
+    for position in range(1, arity):
+        prefixes[position] = accumulated
+        accumulated = _pairwise_image(core, accumulated, input_sets[position], robust)
+
     pruned: List[ValueSet] = []
-    expanded = [members(value_set) for value_set in input_sets]
     for position in range(arity):
         allowed = 0
-        for candidate in expanded[position]:
-            if _exists_combination(gate_type, expanded, position, candidate, output_set, robust):
-                allowed |= candidate.mask
+        for value in members(input_sets[position]):
+            if position == 0:
+                image = value.mask
+            else:
+                image = _pairwise_image(core, prefixes[position], value.mask, robust)
+            for suffix in range(position + 1, arity):
+                image = _pairwise_image(core, image, input_sets[suffix], robust)
+                if not image:
+                    break
+            if image & core_output_set:
+                allowed |= value.mask
         pruned.append(allowed)
     return pruned
-
-
-def _exists_combination(
-    gate_type: GateType,
-    expanded: List[List[DelayValue]],
-    position: int,
-    candidate: DelayValue,
-    output_set: ValueSet,
-    robust: bool = True,
-) -> bool:
-    """Check whether some assignment of the other inputs reaches the output set."""
-
-    def recurse(index: int, chosen: List[DelayValue]) -> bool:
-        if index == len(expanded):
-            return contains(output_set, evaluate_delay_gate(gate_type, chosen, robust))
-        if index == position:
-            chosen.append(candidate)
-            result = recurse(index + 1, chosen)
-            chosen.pop()
-            return result
-        for value in expanded[index]:
-            chosen.append(value)
-            if recurse(index + 1, chosen):
-                chosen.pop()
-                return True
-            chosen.pop()
-        return False
-
-    return recurse(0, [])
 
 
 def format_set(value_set: ValueSet) -> str:

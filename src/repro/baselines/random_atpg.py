@@ -5,6 +5,10 @@ one frame of each sequence the fast (test) frame, and grades the sequence
 with the same machinery the deterministic flow uses: the gross-delay
 verification of :mod:`repro.core.verify`.  It provides the classic
 "how much does deterministic ATPG buy over random patterns" comparison.
+
+Grading dispatches through the ``backend`` parameter (the shared
+:mod:`repro.fausim.backends` registry): the default ``packed`` backend
+grades one faulty machine per word slot, ``reference`` interprets.
 """
 
 from __future__ import annotations

@@ -12,6 +12,10 @@ input becomes a primary output — and TDgen is run on the now purely
 combinational circuit.  Comparing its fault counts against the non-scan flow
 quantifies how much testability the missing scan path costs (the large
 sequentially-untestable fraction discussed in section 6 of the paper).
+
+Expected-response computation and TDgen's search both dispatch through the
+``backend`` parameter (:mod:`repro.fausim.backends` names, ``packed`` by
+default).
 """
 
 from __future__ import annotations

@@ -17,6 +17,12 @@ For every targeted fault the flow runs:
 Backtracking between the steps is possible: if propagation or initialisation
 fails, the local test generator is re-invoked with the previously used
 pseudo primary output observation points blocked.
+
+The flow resolves its ``backend`` parameter once
+(:mod:`repro.fausim.backends`; ``packed`` by default) and threads the same
+name into every step — TDgen and SEMILET (implication engines and search
+kernels), the propagation fault simulator, TDsim and the gross-delay
+verification — so one choice governs the entire campaign.
 """
 
 from __future__ import annotations

@@ -5,6 +5,11 @@ the combinational block in levelised order and clocks the D flip-flops
 explicitly, which is all the sequential engines need: during initialisation
 and propagation only slow clocks are applied, so the machine under simulation
 is always the good machine (the delay fault cannot manifest).
+
+:class:`LogicSimulator` is the ``reference`` implementation of the scalar
+simulator interface; the module-level convenience helpers take a
+``backend`` parameter and resolve it through :mod:`repro.fausim.backends`
+(``packed`` by default), so callers never hard-code the interpreter.
 """
 
 from __future__ import annotations

@@ -4,6 +4,10 @@ Bundles the three sequential tasks (propagation, propagation justification
 feedback and synchronisation) behind one object so that the FOGBUSTER flow in
 :mod:`repro.core.flow` only deals with a single sequential engine, mirroring
 the TDgen / SEMILET coupling described in the paper.
+
+One ``backend`` parameter (the shared :mod:`repro.fausim.backends` names)
+is threaded into all three tasks, selecting their implication engines and
+search kernels together with the flow's fault simulation.
 """
 
 from __future__ import annotations

@@ -13,7 +13,11 @@ levelised three-valued simulation, objective-driven backtrace using
 controlling values, and a backtrack limit.  The frame simulation goes through
 the backend-dispatched implication engine (:mod:`repro.tdgen.implication`):
 both alternatives of a decision are submitted as one candidate batch, which
-the packed engine evaluates in a single pass over the compiled netlist.
+the packed engine evaluates in a single pass over the compiled netlist.  The
+backtrace itself goes through the engine's search kernels
+(:mod:`repro.tdgen.search`), so the ``backend`` choice selects between the
+interpreted recursion (``reference``) and the iterative worklist over the
+compiled flat arrays (``packed``).
 """
 
 from __future__ import annotations
@@ -22,7 +26,6 @@ import dataclasses
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.circuit.gates import GateType, controlling_value, inversion_parity
 from repro.circuit.netlist import Circuit
 from repro.fausim.logic_sim import SignalValues
 from repro.tdgen.implication import CandidateFrames, create_implication_engine
@@ -63,9 +66,10 @@ class FrameJustifier:
         decide_ppis: whether pseudo primary inputs may be assigned.  The
             synchronisation phase allows it (the assignments become the goal of
             the previous frame); a pure input-vector search does not.
-        prefer_few_ppi_assignments: backtrace into primary inputs before
-            pseudo primary inputs, so the previous-frame goal stays as small as
-            possible.
+        prefer_few_ppi_assignments: accepted for API stability; the
+            backtrace always lands on primary inputs before pseudo primary
+            inputs (so the previous-frame goal stays as small as possible)
+            regardless of this flag.
         backend: implication engine backend used for the frame simulation
             (``None`` selects the process default).
     """
@@ -83,6 +87,9 @@ class FrameJustifier:
         self.decide_ppis = decide_ppis
         self.prefer_few_ppi_assignments = prefer_few_ppi_assignments
         self._implication = create_implication_engine(circuit, backend=backend)
+        #: Search kernels of the same backend: the controlling-value
+        #: backtrace (see :mod:`repro.tdgen.search`).
+        self._kernels = self._implication.search_kernels()
 
     def justify(
         self,
@@ -115,9 +122,12 @@ class FrameJustifier:
         backtracks = 0
 
         # Frame of the initial (fixed-only) assignment; later frames come
-        # from the decision nodes' candidate batches.
-        root_frame = self._implication.frame(pi_values, ppi_values)
-        frame = root_frame
+        # from the decision nodes' candidate batches.  The (batch, cursor)
+        # handle travels alongside the frame view so the search kernels can
+        # read the packed planes directly.
+        root_frames = self._implication.frame_candidates(pi_values, ppi_values, (None,))
+        frames, cursor = root_frames, 0
+        frame = root_frames.frame(0)
 
         while True:
             if deadline is not None and time.perf_counter() > deadline:
@@ -145,7 +155,8 @@ class FrameJustifier:
                         value = decision.alternatives.pop(0)
                         self._assign(decision, value, pi_values, ppi_values)
                         decision.cursor += 1
-                        frame = decision.frames.frame(decision.cursor)
+                        frames, cursor = decision.frames, decision.cursor
+                        frame = frames.frame(cursor)
                         backtracks += 1
                         flipped = True
                         break
@@ -156,7 +167,9 @@ class FrameJustifier:
                     return JustificationResult(success=False, backtracks=backtracks, aborted=True)
                 continue
 
-            decision_key = self._next_decision(frame, objectives, pi_values, ppi_values)
+            decision_key = self._next_decision(
+                frames, cursor, frame, objectives, pi_values, ppi_values
+            )
             if decision_key is None:
                 # Nothing left to decide and objectives are still open: force a
                 # backtrack by treating this as a conflict.
@@ -167,7 +180,8 @@ class FrameJustifier:
                 if decision.alternatives:
                     self._assign(decision, decision.alternatives.pop(0), pi_values, ppi_values)
                     decision.cursor += 1
-                    frame = decision.frames.frame(decision.cursor)
+                    frames, cursor = decision.frames, decision.cursor
+                    frame = frames.frame(cursor)
                     backtracks += 1
                     if backtracks > self.backtrack_limit:
                         return JustificationResult(
@@ -177,24 +191,26 @@ class FrameJustifier:
                     stack.pop()
                     # Back to the popped node's prefix: its frame is the
                     # parent's current candidate (or the root frame).
-                    frame = (
-                        stack[-1].frames.frame(stack[-1].cursor)
+                    frames, cursor = (
+                        (stack[-1].frames, stack[-1].cursor)
                         if stack
-                        else root_frame
+                        else (root_frames, 0)
                     )
+                    frame = frames.frame(cursor)
                 continue
 
             name, is_pi, preferred = decision_key
             # Evaluate both alternatives of the new decision in one batch.
-            frames = self._implication.frame_candidates(
+            batch = self._implication.frame_candidates(
                 pi_values, ppi_values,
                 [(name, is_pi, preferred), (name, is_pi, 1 - preferred)],
             )
             decision = _Decision(
-                name=name, is_pi=is_pi, alternatives=[1 - preferred], frames=frames
+                name=name, is_pi=is_pi, alternatives=[1 - preferred], frames=batch
             )
             self._assign(decision, preferred, pi_values, ppi_values)
-            frame = frames.frame(0)
+            frames, cursor = batch, 0
+            frame = batch.frame(0)
             stack.append(decision)
 
     @staticmethod
@@ -210,14 +226,27 @@ class FrameJustifier:
 
     def _next_decision(
         self,
+        frames: CandidateFrames,
+        cursor: int,
         frame: SignalValues,
         objectives: Dict[str, int],
         pi_values: Dict[str, Optional[int]],
         ppi_values: Dict[str, Optional[int]],
     ) -> Optional[Tuple[str, bool, int]]:
+        """Backtrace the first open objective to an unassigned input.
+
+        The controlling-value backtrace runs through the search kernels; it
+        explores alternative fanin branches depth-first and prefers landing
+        on a primary input over a pseudo primary input (PPI assignments
+        become requirements on the previous time frame, so the reverse-time
+        phases want as few of them as possible).
+        """
         for signal, target in objectives.items():
             if frame[signal] is None:
-                traced = self._backtrace(signal, target, frame, pi_values, ppi_values)
+                traced = self._kernels.justification_backtrace(
+                    frames, cursor, signal, target,
+                    pi_values, ppi_values, self.decide_ppis,
+                )
                 if traced is not None:
                     return traced
         # Fall back to any free input.
@@ -228,75 +257,6 @@ class FrameJustifier:
             for ppi, value in ppi_values.items():
                 if value is None:
                     return (ppi, False, 0)
-        return None
-
-    def _backtrace(
-        self,
-        signal: str,
-        target: int,
-        frame: SignalValues,
-        pi_values: Dict[str, Optional[int]],
-        ppi_values: Dict[str, Optional[int]],
-    ) -> Optional[Tuple[str, bool, int]]:
-        """Controlling-value backtrace to an unassigned input.
-
-        The trace explores alternative fanin branches depth-first and prefers
-        landing on a primary input over a pseudo primary input: PPI
-        assignments become requirements on the previous time frame, so the
-        reverse-time phases want as few of them as possible.
-        """
-        best_ppi: List[Tuple[str, bool, int]] = []
-        visited: set = set()
-
-        def descend(current: str, desired: int, depth: int) -> Optional[Tuple[str, bool, int]]:
-            if depth > len(self.circuit.gates) + 1:
-                return None
-            if (current, desired) in visited:
-                return None
-            visited.add((current, desired))
-            gate = self.circuit.gate(current)
-            if gate.is_input:
-                if pi_values[current] is not None:
-                    return None
-                return (current, True, desired)
-            if gate.is_dff:
-                if self.decide_ppis and ppi_values[current] is None:
-                    best_ppi.append((current, False, desired))
-                return None
-
-            gate_type = gate.gate_type
-            if gate_type in (GateType.NOT, GateType.BUF):
-                return descend(gate.fanin[0], desired ^ inversion_parity(gate_type), depth + 1)
-
-            x_inputs = [s for s in gate.fanin if frame[s] is None]
-            if not x_inputs:
-                return None
-            desired_core = desired ^ inversion_parity(gate_type)
-
-            if gate_type in (GateType.XOR, GateType.XNOR):
-                known_parity = 0
-                for source in gate.fanin:
-                    if frame[source] is not None:
-                        known_parity ^= frame[source]
-                for source in x_inputs:
-                    found = descend(source, desired_core ^ known_parity, depth + 1)
-                    if found is not None:
-                        return found
-                return None
-
-            ctrl = controlling_value(gate_type)
-            branch_target = ctrl if desired_core == ctrl else 1 - ctrl
-            for source in x_inputs:
-                found = descend(source, branch_target, depth + 1)
-                if found is not None:
-                    return found
-            return None
-
-        found = descend(signal, target, 0)
-        if found is not None:
-            return found
-        if best_ppi:
-            return best_ppi[0]
         return None
 
     # ------------------------------------------------------------------ #

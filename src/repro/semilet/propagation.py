@@ -17,7 +17,12 @@ The pair simulation itself goes through the backend-dispatched implication
 engine (:mod:`repro.tdgen.implication`): when a frame decision is opened,
 both alternatives are submitted as one candidate batch, which the packed
 engine evaluates in a single word-parallel pass over the compiled netlist
-(good and faulty machine in adjacent word slots).
+(good and faulty machine in adjacent word slots).  The per-decision search
+residue — the potential-difference scan of the X-path check and the
+D-frontier decision backtrace — goes through the engine's search kernels
+(:mod:`repro.tdgen.search`), so the ``backend`` choice also selects between
+the interpreted walks (``reference``) and the compiled word-parallel scan
+over the packed planes (``packed``, computed once per candidate batch).
 """
 
 from __future__ import annotations
@@ -26,8 +31,6 @@ import dataclasses
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.circuit.gates import GateType, controlling_value, inversion_parity
-from repro.circuit.levelize import combinational_order
 from repro.circuit.netlist import Circuit
 from repro.fausim.logic_sim import SignalValues
 from repro.tdgen.implication import CandidatePairFrames, create_implication_engine
@@ -105,14 +108,10 @@ class PropagationEngine:
         if max_frames is None:
             max_frames = max(2 * len(circuit.flip_flops) + 2, 4)
         self.max_frames = min(max_frames, 64)
-        self._order = combinational_order(circuit)
         self._implication = create_implication_engine(circuit, backend=backend)
-        #: Pre-resolved (name, fanin) rows in evaluation order — the
-        #: per-classify scans below run once per decision and should not pay
-        #: a netlist lookup per gate each time.
-        self._gate_rows: List[Tuple[str, Tuple[str, ...]]] = [
-            (name, tuple(circuit.gate(name).fanin)) for name in self._order
-        ]
+        #: Search kernels of the same backend: potential-difference scan and
+        #: the pair-frame decision backtrace (see :mod:`repro.tdgen.search`).
+        self._kernels = self._implication.search_kernels()
         self._deadline: Optional[float] = None
 
     def _expired(self) -> bool:
@@ -240,16 +239,19 @@ class PropagationEngine:
         backtracks = 0
 
         # Pair simulation of the empty assignment; later frames come from the
-        # decision nodes' candidate batches (one engine sweep per node).
-        root_pairs = self._implication.pair_frame(
-            pi_values, good_state, faulty_state, free_ppi_values
+        # decision nodes' candidate batches (one engine sweep per node).  The
+        # (batch, cursor) handle travels alongside the pairs view so the
+        # search kernels can read the packed planes directly.
+        root_frames = self._implication.pair_frame_candidates(
+            pi_values, good_state, faulty_state, free_ppi_values, (None,)
         )
-        pairs = root_pairs
+        frames, cursor = root_frames, 0
+        pairs = root_frames.pairs(0)
 
         while True:
             if self._expired():
                 return None
-            status = self._classify_frame(pairs, goal, blocked_targets)
+            status = self._classify_frame(pairs, frames, cursor, goal, blocked_targets)
             if status == "success":
                 next_good = {}
                 next_faulty = {}
@@ -287,7 +289,8 @@ class PropagationEngine:
                             pi_values, free_ppi_values,
                         )
                         decision.cursor += 1
-                        pairs = decision.frames.pairs(decision.cursor)
+                        frames, cursor = decision.frames, decision.cursor
+                        pairs = frames.pairs(cursor)
                         backtracks += 1
                         flipped = True
                         break
@@ -296,8 +299,8 @@ class PropagationEngine:
                     return None
                 continue
 
-            decision_key = self._frame_decision(
-                pairs, goal, blocked_targets, pi_values, free_ppi_values
+            decision_key = self._kernels.pair_frame_decision(
+                frames, cursor, pi_values, free_ppi_values
             )
             if decision_key is None:
                 if not stack:
@@ -312,7 +315,8 @@ class PropagationEngine:
                         pi_values, free_ppi_values,
                     )
                     decision.cursor += 1
-                    pairs = decision.frames.pairs(decision.cursor)
+                    frames, cursor = decision.frames, decision.cursor
+                    pairs = frames.pairs(cursor)
                     backtracks += 1
                     if backtracks > self.backtrack_limit:
                         return None
@@ -320,27 +324,31 @@ class PropagationEngine:
                     stack.pop()
                     # Back to the popped node's prefix: its pair frame is the
                     # parent's current candidate (or the root frame).
-                    pairs = (
-                        stack[-1].frames.pairs(stack[-1].cursor)
+                    frames, cursor = (
+                        (stack[-1].frames, stack[-1].cursor)
                         if stack
-                        else root_pairs
+                        else (root_frames, 0)
                     )
+                    pairs = frames.pairs(cursor)
                 continue
             name, is_pi, preferred = decision_key
             # Evaluate both alternatives of the new decision in one batch.
-            frames = self._implication.pair_frame_candidates(
+            batch = self._implication.pair_frame_candidates(
                 pi_values, good_state, faulty_state, free_ppi_values,
                 [(name, is_pi, preferred), (name, is_pi, 1 - preferred)],
             )
             stack.append(
-                _FrameDecision(name=name, is_pi=is_pi, alternatives=[1 - preferred], frames=frames)
+                _FrameDecision(name=name, is_pi=is_pi, alternatives=[1 - preferred], frames=batch)
             )
             self._set_frame_var(name, is_pi, preferred, pi_values, free_ppi_values)
-            pairs = frames.pairs(0)
+            frames, cursor = batch, 0
+            pairs = batch.pairs(0)
 
     def _classify_frame(
         self,
         pairs: Dict[str, PairValue],
+        frames: CandidatePairFrames,
+        cursor: int,
         goal: str,
         blocked_targets: Set[str],
     ) -> str:
@@ -357,115 +365,15 @@ class PropagationEngine:
                 break
         if achieved:
             return "success"
-        # X-path style check: the difference must still be able to reach a target.
-        potential = self._potential_difference(pairs)
+        # X-path style check: the difference must still be able to reach a
+        # target.  The potential-difference scan runs through the search
+        # kernels (word-parallel over the whole batch on ``packed``).
+        potential = self._kernels.potential_difference(frames, cursor)
         for target in targets:
             signal = target if goal == "po" else self.circuit.ppo_of_ppi(target)
             if potential.get(signal):
                 return "continue"
         return "conflict"
-
-    def _potential_difference(self, pairs: Dict[str, PairValue]) -> Dict[str, bool]:
-        """Over-approximate which signals could still differ between machines."""
-        potential: Dict[str, bool] = {}
-        for pi in self.circuit.primary_inputs:
-            potential[pi] = False
-        for ppi in self.circuit.pseudo_primary_inputs:
-            good_value, faulty_value = pairs[ppi]
-            if good_value is None or faulty_value is None:
-                potential[ppi] = good_value is not faulty_value and not (
-                    good_value is None and faulty_value is None
-                )
-                # An X/X pair is the *same* unknown in both machines, never a
-                # difference source; a binary/X mix could be.
-                if good_value is None and faulty_value is None:
-                    potential[ppi] = False
-            else:
-                potential[ppi] = good_value != faulty_value
-        for name, fanin in self._gate_rows:
-            good_value, faulty_value = pairs[name]
-            if good_value is not None and faulty_value is not None:
-                potential[name] = good_value != faulty_value
-            else:
-                potential[name] = any(potential[s] for s in fanin)
-        return potential
-
-    def _frame_decision(
-        self,
-        pairs: Dict[str, PairValue],
-        goal: str,
-        blocked_targets: Set[str],
-        pi_values: Dict[str, Optional[int]],
-        free_ppi_values: Dict[str, Optional[int]],
-    ) -> Optional[Tuple[str, bool, int]]:
-        """Choose the next input assignment via a D-frontier driven backtrace."""
-        frontier = self._d_frontier(pairs)
-        for gate_name in frontier:
-            gate = self.circuit.gate(gate_name)
-            ctrl = controlling_value(gate.gate_type)
-            non_ctrl = 1 - ctrl if ctrl is not None else 1
-            for source in gate.fanin:
-                good_value, faulty_value = pairs[source]
-                if good_value is None and faulty_value is None:
-                    traced = self._backtrace(source, non_ctrl, pairs, pi_values, free_ppi_values)
-                    if traced is not None:
-                        return traced
-        # Fallback: assign any free variable.
-        for pi, value in pi_values.items():
-            if value is None:
-                return (pi, True, 0)
-        for ppi, value in free_ppi_values.items():
-            if value is None:
-                return (ppi, False, 0)
-        return None
-
-    def _d_frontier(self, pairs: Dict[str, PairValue]) -> List[str]:
-        frontier = []
-        for name, fanin in self._gate_rows:
-            good_value, faulty_value = pairs[name]
-            if good_value is not None and faulty_value is not None:
-                continue
-            if any(_differs(*pairs[s]) for s in fanin):
-                frontier.append(name)
-        return frontier
-
-    def _backtrace(
-        self,
-        signal: str,
-        target: int,
-        pairs: Dict[str, PairValue],
-        pi_values: Dict[str, Optional[int]],
-        free_ppi_values: Dict[str, Optional[int]],
-    ) -> Optional[Tuple[str, bool, int]]:
-        current, desired = signal, target
-        for _ in range(len(self.circuit.gates) + 1):
-            gate = self.circuit.gate(current)
-            if gate.is_input:
-                if pi_values[current] is not None:
-                    return None
-                return (current, True, desired)
-            if gate.is_dff:
-                if current in free_ppi_values and free_ppi_values[current] is None:
-                    return (current, False, desired)
-                return None
-            gate_type = gate.gate_type
-            if gate_type in (GateType.NOT, GateType.BUF):
-                desired ^= inversion_parity(gate_type)
-                current = gate.fanin[0]
-                continue
-            x_inputs = [s for s in gate.fanin if pairs[s][0] is None and pairs[s][1] is None]
-            if not x_inputs:
-                return None
-            ctrl = controlling_value(gate_type)
-            desired_core = desired ^ inversion_parity(gate_type)
-            current = x_inputs[0]
-            if ctrl is None:
-                desired = desired_core
-            elif desired_core == ctrl:
-                desired = ctrl
-            else:
-                desired = 1 - ctrl
-        return None
 
     @staticmethod
     def _set_frame_var(

@@ -10,6 +10,12 @@ The decision procedure is a PODEM-style branch-and-bound over the primary
 input pairs and the initial-frame values of the pseudo primary inputs, with
 the state-register coupling rule (the final value of a PPI equals the initial
 frame value of the corresponding PPO) built into the forward implication.
+
+The package also hosts the two backend-dispatched layers shared with SEMILET
+and TDsim: the implication engines (:mod:`repro.tdgen.implication`) and the
+search kernels (:mod:`repro.tdgen.search` — objective selection, multiple
+backtrace, potential-difference scan).  Both registries mirror the
+simulation backend names, so one ``backend`` choice governs the whole flow.
 """
 
 from repro.tdgen.context import TDgenContext
@@ -23,10 +29,26 @@ from repro.tdgen.implication import (
     register_implication_engine,
     resolve_implication_backend,
 )
+from repro.tdgen.search import (
+    PackedSearchKernels,
+    ReferenceSearchKernels,
+    SearchKernels,
+    available_search_kernels,
+    create_search_kernels,
+    register_search_kernels,
+    set_default_search_kernels,
+)
 from repro.tdgen.result import LocalTest, LocalTestStatus
 from repro.tdgen.engine import TDgen
 
 __all__ = [
+    "SearchKernels",
+    "ReferenceSearchKernels",
+    "PackedSearchKernels",
+    "available_search_kernels",
+    "create_search_kernels",
+    "register_search_kernels",
+    "set_default_search_kernels",
     "TDgenContext",
     "TwoFrameState",
     "simulate_two_frame",

@@ -8,11 +8,15 @@ backend-dispatched engine (:mod:`repro.tdgen.implication`): when a decision
 node is opened, *all* alternatives of its variable are submitted as one
 candidate batch — the packed engine implies them in a single word-parallel
 sweep over the compiled netlist, and later backtracks to the node flip to an
-already-implied slot instead of re-running the forward pass.  Because each
-decision node enumerates the complete domain of its variable, exhausting the
-decision tree proves the fault robustly untestable in the combinational
-sense; hitting the backtrack limit aborts the fault (Table 3's "aborted"
-column).
+already-implied slot instead of re-running the forward pass.  The
+per-decision search residue — D-frontier objective selection and the
+multiple backtrace to an unassigned decision variable — goes through the
+engine's search kernels (:mod:`repro.tdgen.search`), so the ``backend``
+choice governs those walks too: ``packed`` scans the compiled slot column,
+``reference`` keeps the interpreted walks.  Because each decision node
+enumerates the complete domain of its variable, exhausting the decision
+tree proves the fault robustly untestable in the combinational sense;
+hitting the backtrack limit aborts the fault (Table 3's "aborted" column).
 """
 
 from __future__ import annotations
@@ -23,35 +27,19 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algebra.sets import (
     ValueSet,
-    backward_input_sets,
     contains,
     has_fault_value,
     is_singleton,
     members,
     single_value,
 )
-from repro.algebra.values import (
-    DelayValue,
-    F,
-    FC,
-    H0,
-    H1,
-    PI_VALUES,
-    R,
-    RC,
-    V0,
-    V1,
-)
+from repro.algebra.values import DelayValue, F, R, V0, V1
 from repro.circuit.netlist import Circuit
 from repro.faults.model import GateDelayFault
 from repro.tdgen.context import TDgenContext
 from repro.tdgen.implication import CandidateStates, create_implication_engine
 from repro.tdgen.result import LocalTest, LocalTestStatus
-from repro.tdgen.simulation import (
-    FAULT_MASK,
-    TwoFrameState,
-    gate_input_sets,
-)
+from repro.tdgen.simulation import TwoFrameState
 
 _PI_VALUE_ORDER: Tuple[DelayValue, ...] = (V0, V1, R, F)
 
@@ -109,6 +97,9 @@ class TDgen:
         self.implication = create_implication_engine(
             circuit, backend=backend, robust=robust, context=self.context
         )
+        #: Search kernels of the same backend: objective selection and
+        #: multiple backtrace (see :mod:`repro.tdgen.search`).
+        self.search = self.implication.search_kernels()
         self._ppo_signals = list(dict.fromkeys(circuit.pseudo_primary_outputs))
         self._po_signals = list(dict.fromkeys(circuit.primary_outputs))
         self._deadline: Optional[float] = None
@@ -223,7 +214,9 @@ class TDgen:
             objective = self._objective(state, fault, constraints, blocked, allow_ppo_observation)
             decision_key, preferred = (None, None)
             if objective is not None:
-                decision_key, preferred = self._backtrace(objective, state, fault, pi_values, ppi_initial)
+                decision_key, preferred = self.search.backtrace(
+                    state, fault, objective, pi_values, ppi_initial
+                )
             if decision_key is None:
                 decision_key, preferred = self._fallback_decision(pi_values, ppi_initial)
             if decision_key is None:
@@ -402,149 +395,9 @@ class TDgen:
             if not (is_singleton(value_set) and contains(value_set, needed)):
                 return (ppo, needed)
 
-        # 3. Propagate: pick a D-frontier gate and set an off-path input.
-        frontier = self._d_frontier(state, fault)
-        if not frontier:
-            return None
-        frontier.sort(key=lambda name: self._frontier_rank(name))
-        for gate_name in frontier:
-            objective = self._off_path_objective(state, fault, gate_name)
-            if objective is not None:
-                return objective
-        return None
-
-    def _frontier_rank(self, gate_name: str) -> Tuple[int, str]:
-        if self.prefer_po_observation:
-            distance = self.context.observation_distance(gate_name, pos_only=True)
-            if distance is None:
-                distance = 500_000 + (
-                    self.context.observation_distance(gate_name, pos_only=False) or 500_000
-                )
-        else:
-            distance = self.context.observation_distance(gate_name, pos_only=False)
-            if distance is None:
-                distance = 1_000_000
-        return (distance, gate_name)
-
-    def _d_frontier(self, state: TwoFrameState, fault: GateDelayFault) -> List[str]:
-        """Gates with a definite fault value on an input but not on the output."""
-        frontier: List[str] = []
-        for name in self.context.order:
-            output_set = state.signal_sets[name]
-            if not has_fault_value(output_set):
-                continue
-            if is_singleton(output_set):
-                continue
-            input_sets = gate_input_sets(state, self.context, name, fault)
-            if any(
-                is_singleton(value_set) and has_fault_value(value_set)
-                for value_set in input_sets.values()
-            ):
-                frontier.append(name)
-        return frontier
-
-    def _off_path_objective(
-        self, state: TwoFrameState, fault: GateDelayFault, gate_name: str
-    ) -> Optional[Tuple[str, DelayValue]]:
-        gate = self.circuit.gate(gate_name)
-        input_sets = gate_input_sets(state, self.context, gate_name, fault)
-        ordered_sets = [input_sets[pin] for pin in range(len(gate.fanin))]
-        pruned = backward_input_sets(gate.gate_type, ordered_sets, FAULT_MASK, self.robust)
-        for pin, source in enumerate(gate.fanin):
-            current = ordered_sets[pin]
-            if is_singleton(current):
-                continue
-            allowed = pruned[pin] & current
-            if allowed == 0:
-                continue
-            value = self._preferred_value(allowed)
-            if value is not None:
-                return (source, value)
-        return None
-
-    @staticmethod
-    def _preferred_value(allowed: ValueSet) -> Optional[DelayValue]:
-        """Pick a value from a set, preferring clean steady values."""
-        candidates = members(allowed)
-        if not candidates:
-            return None
-        for value in (V1, V0):
-            if value in candidates:
-                return value
-        for value in candidates:
-            if not value.fault:
-                return value
-        return candidates[0]
-
-    def _backtrace(
-        self,
-        objective: Tuple[str, DelayValue],
-        state: TwoFrameState,
-        fault: GateDelayFault,
-        pi_values: Dict[str, Optional[DelayValue]],
-        ppi_initial: Dict[str, Optional[int]],
-    ) -> Tuple[Optional[Tuple[str, str]], Optional[object]]:
-        """Map an objective back to an unassigned decision variable."""
-        signal, desired = objective
-        for _ in range(len(self.circuit.gates) + 1):
-            gate = self.circuit.gate(signal)
-            if gate.is_input:
-                if pi_values[signal] is not None:
-                    return None, None
-                return ("pi", signal), self._clamp_to_pi(desired)
-            if gate.is_dff:
-                if ppi_initial[signal] is not None:
-                    return None, None
-                return ("ppi", signal), desired.initial
-            input_sets = gate_input_sets(state, self.context, signal, fault)
-            ordered_sets = [input_sets[pin] for pin in range(len(gate.fanin))]
-            pruned = backward_input_sets(
-                gate.gate_type, ordered_sets, desired.mask, self.robust
-            )
-            descended = False
-            for pin, source in enumerate(gate.fanin):
-                if is_singleton(ordered_sets[pin]):
-                    continue
-                allowed = pruned[pin] & ordered_sets[pin]
-                if allowed == 0:
-                    continue
-                value = self._preferred_backtrace_value(allowed, desired)
-                if value is None:
-                    continue
-                signal, desired = source, value
-                descended = True
-                break
-            if not descended:
-                return None, None
-        return None, None
-
-    @staticmethod
-    def _preferred_backtrace_value(allowed: ValueSet, desired: DelayValue) -> Optional[DelayValue]:
-        candidates = members(allowed)
-        if not candidates:
-            return None
-        if desired in candidates:
-            return desired
-        # Prefer values that share the desired final value, then steady values.
-        for value in candidates:
-            if value.final == desired.final and not value.fault:
-                return value
-        for value in candidates:
-            if not value.fault:
-                return value
-        return candidates[0]
-
-    @staticmethod
-    def _clamp_to_pi(value: DelayValue) -> DelayValue:
-        if value in PI_VALUES:
-            return value
-        if value is H0:
-            return V0
-        if value is H1:
-            return V1
-        if value is RC:
-            return R
-        return F
+        # 3. Propagate: pick a D-frontier gate and set an off-path input via
+        #    the backend's search kernels (compiled scan on ``packed``).
+        return self.search.propagation_objective(state, fault, self.prefer_po_observation)
 
     def _fallback_decision(
         self,

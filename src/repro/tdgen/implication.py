@@ -137,6 +137,22 @@ class ImplicationEngine:
         self.circuit = circuit
         self.robust = robust
         self._context = context
+        self._search_kernels = None
+
+    def search_kernels(self):
+        """The search kernels matching this engine's backend (cached).
+
+        Objective selection, multiple backtrace and the potential-difference
+        scan dispatch through the same registry names as the engines (see
+        :mod:`repro.tdgen.search`), so the ``--backend`` choice governs the
+        search heuristics too; :func:`repro.tdgen.search.
+        set_default_search_kernels` overrides the coupling process-wide.
+        """
+        if self._search_kernels is None:
+            from repro.tdgen.search import create_search_kernels
+
+            self._search_kernels = create_search_kernels(self)
+        return self._search_kernels
 
     @property
     def context(self) -> TDgenContext:
@@ -551,16 +567,26 @@ class _PackedStates(CandidateStates):
         bit = 1 << index
         planes = self._set_planes
         base = self._base_sets
-        column: List[ValueSet] = [0] * len(planes)
-        for slot, signal_planes in enumerate(planes):
-            if signal_planes is None:
-                column[slot] = base[slot]
-                continue
-            mask = 0
-            for value_index in range(NUM_PLANES):
-                if signal_planes[value_index] & bit:
-                    mask |= 1 << value_index
-            column[slot] = mask
+        if base is not None:
+            # Incremental state: only the influence cone carries planes; the
+            # remaining slots are the parent's column, copied wholesale.
+            column = list(base)
+            for slot, signal_planes in enumerate(planes):
+                if signal_planes is None:
+                    continue
+                mask = 0
+                for value_index in range(NUM_PLANES):
+                    if signal_planes[value_index] & bit:
+                        mask |= 1 << value_index
+                column[slot] = mask
+        else:
+            column = [0] * len(planes)
+            for slot, signal_planes in enumerate(planes):
+                mask = 0
+                for value_index in range(NUM_PLANES):
+                    if signal_planes[value_index] & bit:
+                        mask |= 1 << value_index
+                column[slot] = mask
         self._set_columns[index] = column
         return column
 
@@ -645,19 +671,30 @@ class _PackedStates(CandidateStates):
 
 
 class _PackedPairFrames(CandidatePairFrames):
-    """Packed pair frames: good/faulty machines in adjacent word slots."""
+    """Packed pair frames: good/faulty machines in adjacent word slots.
+
+    ``pairs`` unpacks lazily (most consumers read a handful of signals — the
+    targets, the state register) and :meth:`potential_planes` computes the
+    propagation PODEM's potential-difference scan word-parallel for every
+    candidate of the batch in one pass over the gate program.
+    """
 
     def __init__(self, compiled: CompiledCircuit, planes: PackedPlanes, width: int) -> None:
         self._compiled = compiled
         self._planes = planes
         self._width = width
         self._cache: Dict[int, Dict[str, PairValue]] = {}
+        self._potential: Optional[List[int]] = None
 
     def __len__(self) -> int:
         return self._width
 
+    def packed_planes(self) -> PackedPlanes:
+        """The underlying planes (read by the packed search kernels)."""
+        return self._planes
+
     def pairs(self, index: int) -> Dict[str, PairValue]:
-        """Unpack candidate ``index`` (slots ``2i`` / ``2i + 1``) into pairs."""
+        """View candidate ``index`` (slots ``2i`` / ``2i + 1``) as lazy pairs."""
         cached = self._cache.get(index)
         if cached is not None:
             return cached
@@ -665,8 +702,8 @@ class _PackedPairFrames(CandidatePairFrames):
         one = self._planes.one
         good_bit = 1 << (2 * index)
         faulty_bit = good_bit << 1
-        pairs: Dict[str, PairValue] = {}
-        for slot, name in enumerate(self._compiled.signal_names):
+
+        def unpack_pair(slot: int) -> PairValue:
             if one[slot] & good_bit:
                 good_value: Optional[int] = 1
             elif zero[slot] & good_bit:
@@ -679,9 +716,51 @@ class _PackedPairFrames(CandidatePairFrames):
                 faulty_value = 0
             else:
                 faulty_value = None
-            pairs[name] = (good_value, faulty_value)
+            return (good_value, faulty_value)
+
+        pairs = _LazyColumn(self._compiled.slot_of, unpack_pair)
         self._cache[index] = pairs
         return pairs
+
+    def potential_planes(self) -> List[int]:
+        """Per-slot potential-difference column, all candidates at once.
+
+        Bit ``2i`` of entry ``slot`` says the good and the faulty machine of
+        candidate ``i`` could still disagree on that signal: provably where
+        both machine values are binary and differ, over-approximated through
+        the fanin union where either machine is still X — exactly the
+        reference scan of :meth:`repro.tdgen.search.ReferenceSearchKernels.
+        potential_difference`, evaluated word-parallel and cached for the
+        whole batch.
+        """
+        if self._potential is None:
+            compiled = self._compiled
+            zero = self._planes.zero
+            one = self._planes.one
+            full = (1 << self._planes.width) - 1
+            good_mask = full // 3  # bits 0, 2, 4, ...  (0b01 repeated)
+            potential = [0] * compiled.num_signals
+            for slot in compiled.ppi_slots:
+                defined = zero[slot] | one[slot]
+                defined_good = defined & good_mask
+                defined_faulty = (defined >> 1) & good_mask
+                both = defined_good & defined_faulty
+                differs = both & ((one[slot] ^ (one[slot] >> 1)) & good_mask)
+                # Binary/binary pairs differ provably; a binary/X mix could
+                # differ; an X/X pair is the same unknown in both machines.
+                potential[slot] = differs | (defined_good ^ defined_faulty)
+            offsets = compiled.fanin_offsets
+            fanin_flat = compiled.fanin_flat
+            for gate_index, out in enumerate(compiled.outputs):
+                defined = zero[out] | one[out]
+                both = (defined & good_mask) & ((defined >> 1) & good_mask)
+                differs = both & ((one[out] ^ (one[out] >> 1)) & good_mask)
+                acc = 0
+                for position in range(offsets[gate_index], offsets[gate_index + 1]):
+                    acc |= potential[fanin_flat[position]]
+                potential[out] = differs | (acc & ~both & good_mask)
+            self._potential = potential
+        return self._potential
 
 
 class _PackedFrames(CandidateFrames):
@@ -696,22 +775,27 @@ class _PackedFrames(CandidateFrames):
     def __len__(self) -> int:
         return self._width
 
+    def packed_planes(self) -> PackedPlanes:
+        """The underlying planes (read by the packed search kernels)."""
+        return self._planes
+
     def frame(self, index: int) -> SignalValues:
-        """Unpack word slot ``index`` into a plain per-signal value dict."""
+        """View word slot ``index`` as a lazily unpacked per-signal dict."""
         cached = self._cache.get(index)
         if cached is not None:
             return cached
         zero = self._planes.zero
         one = self._planes.one
         bit = 1 << index
-        values: SignalValues = {}
-        for slot, name in enumerate(self._compiled.signal_names):
+
+        def unpack_value(slot: int) -> Optional[int]:
             if one[slot] & bit:
-                values[name] = 1
-            elif zero[slot] & bit:
-                values[name] = 0
-            else:
-                values[name] = None
+                return 1
+            if zero[slot] & bit:
+                return 0
+            return None
+
+        values = _LazyColumn(self._compiled.slot_of, unpack_value)
         self._cache[index] = values
         return values
 
@@ -1061,8 +1145,17 @@ class PackedImplicationEngine(ImplicationEngine):
             if reloaded is not None:
                 apply_move(reloaded, move)
 
+        # Event-driven sweep: only the decision variable and the re-coupled
+        # state registers can differ from the parent column; gates whose
+        # inputs stay off that wavefront are skipped and resolve to the
+        # parent via their ``None`` planes entry.
+        changed_slots = [var_slot]
+        changed_slots.extend(
+            self._dff_items[position][0] for position in cone.affected_dffs
+        )
         result = self._sets.propagate(
-            planes, width, stem_moves, branch_moves, cone.pass2_gates
+            planes, width, stem_moves, branch_moves, cone.pass2_gates,
+            base_sets=base_sets, changed_slots=changed_slots,
         )
         return _PackedStates(
             owner=self,
@@ -1426,15 +1519,46 @@ def available_implication_engines() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+#: Process-wide force; ``None`` means "follow the requested / default name".
+_FORCED_BACKEND: Optional[str] = None
+
+
+def force_implication_backend(name: "str | None") -> None:
+    """Force one implication backend process-wide, decoupled from simulation.
+
+    ``None`` (the initial state) restores the normal coupling where one
+    ``--backend`` choice governs fault simulation and search-side
+    implication together.  Setting a name makes every *subsequently built*
+    engine use that backend — even when a consumer asked for another name —
+    which is the ablation escape hatch the search-side benchmark uses to
+    time an interpreted search against packed fault simulation.  Always
+    reset to ``None`` (``try``/``finally``) after the measurement.
+    """
+    global _FORCED_BACKEND
+    if name is not None and name not in _REGISTRY:
+        raise ValueError(
+            f"unknown implication engine {name!r}; "
+            f"available: {', '.join(available_implication_engines())}"
+        )
+    _FORCED_BACKEND = name
+
+
 def resolve_implication_backend(name: "str | None" = None) -> str:
     """Resolve ``None`` to the process-wide simulation default and validate.
 
     The default deliberately delegates to
     :func:`repro.fausim.backends.default_backend`, so
     ``set_default_backend(...)`` and the CLI ``--backend`` flag govern fault
-    simulation and search-side implication together.
+    simulation and search-side implication together.  An active
+    :func:`force_implication_backend` override wins over both the default
+    and an explicitly requested name.
     """
-    resolved = name if name is not None else _sim_backends.default_backend()
+    if _FORCED_BACKEND is not None:
+        resolved = _FORCED_BACKEND
+    elif name is not None:
+        resolved = name
+    else:
+        resolved = _sim_backends.default_backend()
     if resolved not in _REGISTRY:
         raise ValueError(
             f"unknown implication engine {resolved!r}; "

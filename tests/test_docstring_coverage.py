@@ -8,7 +8,11 @@ tier-1 environment) and fails listing every offender:
 * **every module** — including every package ``__init__.py`` — must have a
   module docstring;
 * **every public class, function and method** (name not starting with an
-  underscore; dunders exempt) must have a docstring.
+  underscore; dunders exempt) must have a docstring;
+* **every public module that exposes a ``backend`` parameter** (on a public
+  function or a public class's ``__init__``/methods) must *name* that
+  parameter in its module docstring — the multi-backend dispatch is only
+  discoverable if each entry layer says it participates.
 
 It is the CI docstring gate: the tier-1 workflow runs it on every push.
 """
@@ -75,6 +79,53 @@ def test_every_public_object_has_a_docstring():
     assert not missing, (
         f"docstring coverage {coverage:.1f}% ({len(missing)}/{total} public "
         "objects undocumented): " + ", ".join(missing)
+    )
+
+
+def _module_exposes_backend_parameter(tree: ast.Module) -> bool:
+    """True when a public function or public class method takes ``backend``."""
+
+    def walk(node: ast.AST, public: bool) -> bool:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                is_public = public and (
+                    not child.name.startswith("_") or child.name == "__init__"
+                )
+                if is_public:
+                    arguments = child.args
+                    names = [a.arg for a in arguments.args + arguments.kwonlyargs]
+                    if "backend" in names:
+                        return True
+            elif isinstance(child, ast.ClassDef):
+                if public and not child.name.startswith("_") and walk(child, True):
+                    return True
+        return False
+
+    return walk(tree, True)
+
+
+def test_backend_modules_name_the_parameter():
+    """Modules with a public ``backend`` parameter must say so up front.
+
+    The dispatch between the ``packed`` and ``reference`` implementations
+    is spread over several layers (simulators, implication engines, search
+    kernels); every module that participates must mention ``backend`` in
+    its module docstring so the coupling stays discoverable.
+    """
+    offenders: List[str] = []
+    participating = 0
+    for path in _iter_modules():
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if not _module_exposes_backend_parameter(tree):
+            continue
+        participating += 1
+        docstring = ast.get_docstring(tree) or ""
+        if "backend" not in docstring.lower():
+            offenders.append(_module_name(path))
+    assert participating >= 10, "backend-parameter scan looks wrong"
+    assert not offenders, (
+        "modules exposing a backend parameter without naming it in their "
+        "module docstring: " + ", ".join(offenders)
     )
 
 
