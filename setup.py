@@ -1,3 +1,20 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-brakel-gkv95",
+    version="0.6.0",
+    description=(
+        "Delay-fault ATPG for non-scan sequential circuits "
+        "(TDgen + SEMILET + TDsim), reproduced from Brakel et al., DATE'95"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    # The core package is dependency-free.  numpy unlocks the levelized
+    # uint64 kernel behind --backend numpy; without it the backend degrades
+    # to the bit-identical bigint tier (see docs/ARCHITECTURE.md).
+    extras_require={
+        "numpy": ["numpy"],
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

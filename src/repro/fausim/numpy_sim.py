@@ -1,0 +1,339 @@
+"""The ``numpy`` kernel tier: levelized uint64 array evaluation.
+
+The ``packed`` and ``bigint`` tiers still interpret the compiled gate program
+one gate at a time in Python; only the *patterns* are parallel.  This module
+adds the orthogonal axis: the compiled netlist is grouped into topological
+**levels** (every gate's fanin lives at a strictly lower level), the gates of
+one level are partitioned by opcode and arity, and each partition evaluates
+as a handful of vectorised ``uint64`` array operations across **all gates of
+the level at once**.  Pattern words beyond 64 bits become a second array
+axis, so one pass covers an arbitrarily wide fault/pattern population with
+``levels x partitions`` numpy calls instead of ``gates x words`` Python loop
+iterations.
+
+The plane identities are exactly those of
+:mod:`repro.fausim.packed_sim` (two-plane {0, 1, X} encoding)::
+
+    AND   one = AND(one_i)          zero = OR(zero_i)
+    OR    one = OR(one_i)           zero = AND(zero_i)
+    NOT   swap the planes
+    XOR   parity of the one planes, masked to the all-known patterns
+
+numpy is an **optional** dependency: when it is missing,
+:data:`HAVE_NUMPY` is false and :func:`create_numpy_simulator` silently
+degrades to the :class:`~repro.fausim.bigint_sim.BigintLogicSimulator`, so a
+``--backend numpy`` request stays correct (and still batch-parallel) on a
+numpy-less host.  The differential fuzz harness in ``tests/fuzz`` pins the
+vectorised pass bit-for-bit against the ``packed`` oracle and the reference
+interpreter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.fausim.bigint_sim import BIGINT_WORD_BITS, BigintLogicSimulator
+from repro.fausim.compile import (
+    OP_BUF,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_XNOR,
+    CompiledCircuit,
+    compile_circuit,
+)
+from repro.fausim.packed_sim import PackedLogicSimulator, PackedPlanes
+
+try:  # pragma: no cover - exercised by the no-numpy CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: True when numpy imported; the sole switch between the vectorised pass and
+#: the bigint fallback.
+HAVE_NUMPY = _np is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelGroup:
+    """One (opcode, arity) partition of one topological level.
+
+    Attributes:
+        op: the shared opcode of every gate in the partition.
+        out_slots: signal slot of each gate's output (``int64[m]``).
+        fanin: fanin slots in pin order (``int64[m, k]``).
+        first_position: flat fanin position of each gate's pin 0, so a flat
+            position ``p`` of row ``r`` maps to column ``p -
+            first_position[r]`` (used to patch branch-forced reads).
+    """
+
+    op: int
+    out_slots: "object"
+    fanin: "object"
+    first_position: Tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelizedProgram:
+    """The compiled gate program regrouped for level-parallel evaluation.
+
+    Attributes:
+        levels: per topological level, its (opcode, arity) partitions.
+        level_of_out: gate output slot -> level index.
+        group_of_position: flat fanin position -> ``(level, group, row,
+            column)`` of the read it feeds, for branch-force patching.
+        num_signals: slot count of the underlying compiled circuit.
+    """
+
+    levels: Tuple[Tuple[LevelGroup, ...], ...]
+    level_of_out: Dict[int, int]
+    group_of_position: Dict[int, Tuple[int, int, int, int]]
+    num_signals: int
+
+
+def levelize_program(compiled: CompiledCircuit) -> LevelizedProgram:
+    """Group ``compiled``'s gate program by topological level and opcode.
+
+    Cached on the source circuit next to the compiled arrays; rebuilding
+    after a structural edit happens automatically because the cache is keyed
+    by the compiled object's identity.
+    """
+    circuit = compiled.circuit
+    cached = getattr(circuit, "_levelized_cache", None)
+    if cached is not None and cached[0] is compiled:
+        return cached[1]
+
+    offsets = compiled.fanin_offsets
+    fanin_flat = compiled.fanin_flat
+    outputs = compiled.outputs
+    ops = compiled.ops
+
+    level_of_slot = [0] * compiled.num_signals
+    # rows[level][(op, arity)] -> list of gate-program indices
+    rows: List[Dict[Tuple[int, int], List[int]]] = []
+    level_of_out: Dict[int, int] = {}
+    for index in range(len(ops)):
+        start = offsets[index]
+        end = offsets[index + 1]
+        level = 1 + max(level_of_slot[fanin_flat[p]] for p in range(start, end))
+        out = outputs[index]
+        level_of_slot[out] = level
+        level_of_out[out] = level - 1  # level 0 is the source plane
+        while len(rows) < level:
+            rows.append({})
+        rows[level - 1].setdefault((ops[index], end - start), []).append(index)
+
+    group_of_position: Dict[int, Tuple[int, int, int, int]] = {}
+    levels: List[Tuple[LevelGroup, ...]] = []
+    for level_index, partitions in enumerate(rows):
+        groups: List[LevelGroup] = []
+        for (op, arity), indices in sorted(partitions.items()):
+            out_slots = [outputs[i] for i in indices]
+            fanin = [
+                [fanin_flat[p] for p in range(offsets[i], offsets[i] + arity)]
+                for i in indices
+            ]
+            first = tuple(offsets[i] for i in indices)
+            for row, i in enumerate(indices):
+                for column in range(arity):
+                    group_of_position[offsets[i] + column] = (
+                        level_index,
+                        len(groups),
+                        row,
+                        column,
+                    )
+            if HAVE_NUMPY:
+                out_arr = _np.asarray(out_slots, dtype=_np.int64)
+                fan_arr = _np.asarray(fanin, dtype=_np.int64)
+            else:  # pragma: no cover - structure still useful for inspection
+                out_arr = tuple(out_slots)
+                fan_arr = tuple(tuple(row) for row in fanin)
+            groups.append(
+                LevelGroup(
+                    op=op, out_slots=out_arr, fanin=fan_arr, first_position=first
+                )
+            )
+        levels.append(tuple(groups))
+
+    program = LevelizedProgram(
+        levels=tuple(levels),
+        level_of_out=level_of_out,
+        group_of_position=group_of_position,
+        num_signals=compiled.num_signals,
+    )
+    circuit._levelized_cache = (compiled, program)
+    return program
+
+
+# --------------------------------------------------------------------------- #
+# int <-> uint64-word conversion
+# --------------------------------------------------------------------------- #
+def _planes_to_array(plane_list: Sequence[int], words: int):
+    """Pack one Python-int plane per signal into a ``uint64[slots, words]``."""
+    size = words * 8
+    buffer = b"".join(value.to_bytes(size, "little") for value in plane_list)
+    return (
+        _np.frombuffer(buffer, dtype="<u8").reshape(len(plane_list), words).copy()
+    )
+
+
+def _array_to_planes(array) -> List[int]:
+    """Unpack a ``uint64[slots, words]`` back into Python-int planes."""
+    data = array.astype("<u8", copy=False).tobytes()
+    size = array.shape[1] * 8
+    return [
+        int.from_bytes(data[offset : offset + size], "little")
+        for offset in range(0, len(data), size)
+    ]
+
+
+def _mask_to_words(mask: int, words: int):
+    """One force/selection mask as a ``uint64[words]`` row."""
+    return _np.frombuffer(mask.to_bytes(words * 8, "little"), dtype="<u8")
+
+
+class NumpyLogicSimulator(PackedLogicSimulator):
+    """Levelized three-valued plane simulator on uint64 arrays.
+
+    A drop-in :class:`~repro.fausim.packed_sim.PackedLogicSimulator` with the
+    bigint tier's unbounded chunk width whose full-program passes
+    (:meth:`evaluate_planes`, :meth:`evaluate_planes_forced`) run level by
+    level as vectorised array operations.  Incremental cone passes
+    (``gate_indices``) keep the exact per-gate path — the wavefront subsets
+    the search side requests are too narrow for vectorisation to pay.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        if not HAVE_NUMPY:
+            raise RuntimeError(
+                "numpy is not installed; use create_numpy_simulator() for the "
+                "graceful bigint fallback"
+            )
+        super().__init__(circuit, word_bits=BIGINT_WORD_BITS)
+        self.program: LevelizedProgram = levelize_program(self.compiled)
+
+    # ------------------------------------------------------------------ #
+    def evaluate_planes(
+        self, planes: PackedPlanes, gate_indices: "Sequence[int] | None" = None
+    ) -> None:
+        """Run the gate program level-parallel (or fall back for subsets)."""
+        if gate_indices is not None:
+            super().evaluate_planes(planes, gate_indices)
+            return
+        self._run_vectorised(planes, (), {}, {})
+
+    def evaluate_planes_forced(
+        self,
+        planes: PackedPlanes,
+        source_forces: Sequence[Tuple[int, int, int, int]] = (),
+        gate_forces: Optional[Dict[int, Tuple[int, int, int]]] = None,
+        branch_forces: Optional[Dict[int, Tuple[int, int, int]]] = None,
+    ) -> None:
+        """Level-parallel pass with the packed tier's per-pattern forces."""
+        self._run_vectorised(
+            planes, source_forces, gate_forces or {}, branch_forces or {}
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run_vectorised(
+        self,
+        planes: PackedPlanes,
+        source_forces: Sequence[Tuple[int, int, int, int]],
+        gate_forces: Dict[int, Tuple[int, int, int]],
+        branch_forces: Dict[int, Tuple[int, int, int]],
+    ) -> None:
+        """The vectorised core shared by the plain and the forced pass."""
+        zero = planes.zero
+        one = planes.one
+        for slot, clear, set_zero, set_one in source_forces:
+            zero[slot] = (zero[slot] & ~clear) | set_zero
+            one[slot] = (one[slot] & ~clear) | set_one
+
+        words = (planes.width + 63) // 64
+        zero_w = _planes_to_array(zero, words)
+        one_w = _planes_to_array(one, words)
+        word_mask = _mask_to_words((1 << planes.width) - 1, words)
+
+        program = self.program
+        # Forces grouped by the level whose outputs they patch; a force on a
+        # slot the program never writes (impossible by construction of
+        # _build_forces) would simply be ignored, like in the packed pass.
+        forces_by_level: Dict[int, List[Tuple[int, Tuple]]] = {}
+        for slot, force in gate_forces.items():
+            level = program.level_of_out.get(slot)
+            if level is not None:
+                forces_by_level.setdefault(level, []).append(
+                    (slot, tuple(_mask_to_words(mask, words) for mask in force))
+                )
+        patches_by_group: Dict[Tuple[int, int], List[Tuple[int, int, Tuple]]] = {}
+        for position, force in branch_forces.items():
+            located = program.group_of_position.get(position)
+            if located is None:
+                continue
+            level, group, row, column = located
+            patches_by_group.setdefault((level, group), []).append(
+                (row, column, tuple(_mask_to_words(mask, words) for mask in force))
+            )
+
+        bit_and = _np.bitwise_and
+        bit_or = _np.bitwise_or
+        bit_xor = _np.bitwise_xor
+        for level_index, groups in enumerate(program.levels):
+            for group_index, group in enumerate(groups):
+                fan = group.fanin
+                z_in = zero_w[fan]
+                o_in = one_w[fan]
+                patches = patches_by_group.get((level_index, group_index))
+                if patches:
+                    for row, column, (clear, set_zero, set_one) in patches:
+                        z_in[row, column] = (z_in[row, column] & ~clear) | set_zero
+                        o_in[row, column] = (o_in[row, column] & ~clear) | set_one
+                op = group.op
+                if op <= OP_NAND:  # AND / NAND
+                    acc_one = bit_and.reduce(o_in, axis=1)
+                    acc_zero = bit_or.reduce(z_in, axis=1)
+                    if op == OP_NAND:
+                        acc_zero, acc_one = acc_one, acc_zero
+                elif op <= OP_NOR:  # OR / NOR
+                    acc_one = bit_or.reduce(o_in, axis=1)
+                    acc_zero = bit_and.reduce(z_in, axis=1)
+                    if op == OP_NOR:
+                        acc_zero, acc_one = acc_one, acc_zero
+                elif op == OP_NOT:
+                    acc_zero = o_in[:, 0]
+                    acc_one = z_in[:, 0]
+                elif op == OP_BUF:
+                    acc_zero = z_in[:, 0]
+                    acc_one = o_in[:, 0]
+                else:  # XOR / XNOR
+                    parity = bit_xor.reduce(o_in, axis=1)
+                    known = bit_and.reduce(z_in | o_in, axis=1)
+                    acc_one = parity & known
+                    acc_zero = ~parity & known & word_mask
+                    if op == OP_XNOR:
+                        acc_zero, acc_one = acc_one, acc_zero
+                zero_w[group.out_slots] = acc_zero
+                one_w[group.out_slots] = acc_one
+            level_forces = forces_by_level.get(level_index)
+            if level_forces:
+                for slot, (clear, set_zero, set_one) in level_forces:
+                    zero_w[slot] = (zero_w[slot] & ~clear) | set_zero
+                    one_w[slot] = (one_w[slot] & ~clear) | set_one
+
+        planes.zero[:] = _array_to_planes(zero_w)
+        planes.one[:] = _array_to_planes(one_w)
+
+
+def create_numpy_simulator(circuit: Circuit):
+    """Factory of the ``numpy`` backend: vectorised, or bigint when absent.
+
+    Registered in :mod:`repro.fausim.backends` under ``"numpy"``; the
+    graceful-degradation contract is that selecting the backend never fails —
+    a host without numpy transparently gets the bigint tier, which is
+    bit-identical (both are differentially pinned against ``packed``).
+    """
+    if HAVE_NUMPY:
+        return NumpyLogicSimulator(circuit)
+    return BigintLogicSimulator(circuit)

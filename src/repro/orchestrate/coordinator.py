@@ -49,7 +49,6 @@ from repro.circuit.netlist import Circuit
 from repro.core.flow import SequentialDelayATPG, credit_fault_result
 from repro.core.results import CampaignResult, FaultResult
 from repro.faults.model import FaultList, FaultStatus, GateDelayFault, enumerate_delay_faults
-from repro.fausim.backends import resolve_backend
 from repro.orchestrate.journal import (
     CampaignJournal,
     JournalSegment,
@@ -101,7 +100,11 @@ class OrchestratorConfig:
 
         ``jobs`` and ``partition`` are deliberately absent: a journal may be
         resumed with a different worker count or scheduling mode because the
-        replay merge makes them irrelevant to the outcome.
+        replay merge makes them irrelevant to the outcome.  ``backend`` is
+        absent for the same reason — every registered backend is
+        differentially pinned to be bit-exact (``tests/fuzz``,
+        ``tests/core``), so a campaign journaled under one backend may be
+        resumed under another without invalidating the finished faults.
         """
         return {
             "robust": self.robust,
@@ -111,7 +114,6 @@ class OrchestratorConfig:
             "fill_value": self.fill_value,
             "verify_sequences": self.verify_sequences,
             "enable_fault_simulation": self.enable_fault_simulation,
-            "backend": resolve_backend(self.backend),
             "campaign_seed": self.campaign_seed,
         }
 

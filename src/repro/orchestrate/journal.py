@@ -48,8 +48,11 @@ def campaign_digest(
 
     A journal segment may only be resumed into a campaign with the same
     digest — same circuit, same generation settings (robustness, backtrack
-    limits, fill, backend, ...) and the same fault universe in the same
-    enumeration order, since the records are keyed by universe index.
+    limits, fill, ...) and the same fault universe in the same enumeration
+    order, since the records are keyed by universe index.  The simulation
+    backend is deliberately *not* part of the digest: backends are pinned
+    bit-exact against each other, so a campaign journaled under one backend
+    resumes cleanly under another (``tests/orchestrate/test_journal.py``).
     """
     payload = {
         "circuit": circuit_name,

@@ -46,8 +46,10 @@ from repro.circuit.gates import evaluate_gate
 from repro.circuit.netlist import Circuit, LineKind
 from repro.faults.model import GateDelayFault
 from repro.fausim import backends as _sim_backends
+from repro.fausim.bigint_sim import BIGINT_WORD_BITS
 from repro.fausim.compile import CompiledCircuit, compile_circuit
 from repro.fausim.logic_sim import LogicSimulator, SignalValues
+from repro.fausim.numpy_sim import HAVE_NUMPY, NumpyLogicSimulator
 from repro.fausim.packed_sim import PackedLogicSimulator, PackedPlanes, WORD_BITS
 from repro.tdgen.context import TDgenContext
 from repro.tdgen.simulation import (
@@ -1489,6 +1491,54 @@ class PackedImplicationEngine(ImplicationEngine):
         return _PackedFrames(compiled, planes, width)
 
 
+class BigintImplicationEngine(PackedImplicationEngine):
+    """The packed implication engine on unbounded-width integer planes.
+
+    Identical algorithms, one effectively infinite word: a candidate batch of
+    any size (every decision alternative, every justification frame) runs as
+    a single sweep over the compiled gate program instead of one sweep per
+    64-slot chunk.  Registered under ``"bigint"``, matching the simulation
+    backend of the same substrate (:mod:`repro.fausim.bigint_sim`).
+    """
+
+    name = "bigint"
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        robust: bool = True,
+        context: Optional[TDgenContext] = None,
+    ) -> None:
+        super().__init__(
+            circuit, robust=robust, context=context, word_bits=BIGINT_WORD_BITS
+        )
+
+
+class NumpyImplicationEngine(BigintImplicationEngine):
+    """The ``numpy``-tier implication engine.
+
+    The three-valued passes (frame justification candidates, SEMILET pair
+    frames) run on the levelized vectorised simulator when numpy is
+    available; the eight-valued *set*-plane sweeps keep the unbounded-width
+    integer substrate of the bigint tier — their cost is bound by the
+    occupied plane pairs per gate, not by the word count, so there is no
+    per-word loop for vectorisation to remove.  Without numpy the engine is
+    exactly the bigint engine (graceful degradation).
+    """
+
+    name = "numpy"
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        robust: bool = True,
+        context: Optional[TDgenContext] = None,
+    ) -> None:
+        super().__init__(circuit, robust=robust, context=context)
+        if HAVE_NUMPY:
+            self._logic = NumpyLogicSimulator(circuit)
+
+
 # --------------------------------------------------------------------------- #
 # registry — same names and same default as the simulation backends
 # --------------------------------------------------------------------------- #
@@ -1580,3 +1630,5 @@ def create_implication_engine(
 
 register_implication_engine(ReferenceImplicationEngine.name, ReferenceImplicationEngine)
 register_implication_engine(PackedImplicationEngine.name, PackedImplicationEngine)
+register_implication_engine(BigintImplicationEngine.name, BigintImplicationEngine)
+register_implication_engine(NumpyImplicationEngine.name, NumpyImplicationEngine)

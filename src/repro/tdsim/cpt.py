@@ -37,7 +37,7 @@ from repro.algebra.tables import evaluate_delay_gate
 from repro.algebra.values import DelayValue, F, R
 from repro.circuit.netlist import Circuit, Line, LineKind
 from repro.faults.model import DelayFaultType, GateDelayFault
-from repro.fausim.backends import PACKED_BACKEND, resolve_backend
+from repro.fausim.backends import create_two_frame_simulator, resolve_backend
 from repro.fausim.packed_two_frame import PackedTwoFrameSimulator
 from repro.tdgen.context import TDgenContext
 from repro.tdgen.implication import create_implication_engine
@@ -78,10 +78,11 @@ class DelayFaultSimulator:
         self.robust = robust
         self.context = context or TDgenContext(circuit)
         self.backend = resolve_backend(backend)
-        self._packed: Optional[PackedTwoFrameSimulator] = (
-            PackedTwoFrameSimulator(circuit, robust=robust)
-            if self.backend == PACKED_BACKEND
-            else None
+        # Every compiled tier gets a fault-parallel two-frame simulator; the
+        # bigint/numpy tiers use one unbounded word so a whole candidate
+        # batch is a single pass (see create_two_frame_simulator).
+        self._packed: Optional[PackedTwoFrameSimulator] = create_two_frame_simulator(
+            circuit, robust=robust, backend=self.backend
         )
         # All remaining single-injection simulations route through the
         # backend-dispatched implication engine, so the reference path shares

@@ -1,0 +1,16 @@
+"""Cross-backend differential fuzzing.
+
+Every registered backend — ``reference``, ``packed``, ``bigint`` and
+``numpy`` — must agree *bit for bit* at all four dispatch layers of the
+code base: good-machine simulation (:mod:`repro.fausim.backends`), forward
+implication (:mod:`repro.tdgen.implication`), compiled search kernels
+(:mod:`repro.tdgen.search`) and fault grading (:mod:`repro.core.verify`).
+
+:mod:`tests.fuzz.harness` generates seeded random cases (circuit, fault
+site, vector sequences, partial assignments), checks the agreement across
+all layers, and greedily shrinks failing cases before persisting them to
+``tests/fuzz/corpus/`` as deterministic regression files.
+:mod:`tests.fuzz.test_differential_fuzz` runs a bounded random budget per
+test session (extended via ``REPRO_FUZZ_CASES`` under the CI cron job);
+:mod:`tests.fuzz.test_corpus` deterministically replays every corpus file.
+"""

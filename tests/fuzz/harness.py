@@ -1,0 +1,627 @@
+"""Property-based differential fuzz harness for the backend registry.
+
+A :class:`FuzzCase` is a fully serialisable bundle of everything one
+differential check needs: a random circuit (as a :class:`CircuitSpec` that
+rebuilds it through the public :class:`~repro.circuit.builder.CircuitBuilder`
+API), a random fault site, a batch of random three-valued vector sequences,
+and random partial assignments for the search-side layers.
+
+:func:`check_case` replays the case through **all four dispatch layers** —
+simulation (scalar clocking *and* the batched plane path), implication,
+search kernels and grading — once per registered backend, and returns every
+disagreement with the reference oracle.  :func:`shrink_case` greedily
+minimises a failing case (drop sequences/frames/outputs/dead gates, X out
+assignments) while it keeps failing, and :func:`persist_case` writes the
+minimised case to ``tests/fuzz/corpus/`` so the regression replays forever.
+
+Everything is seeded: ``generate_case(seed)`` is deterministic, and a corpus
+file round-trips through :meth:`FuzzCase.to_json` / :meth:`FuzzCase.from_json`
+bit-exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.values import PI_VALUES, DelayValue
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.core.clocking import ClockSchedule
+from repro.core.results import TestSequence
+from repro.core.verify import grade_test_sequence
+from repro.faults.model import GateDelayFault, enumerate_delay_faults, sample_faults
+from repro.fausim.backends import available_backends, create_simulator
+from repro.fausim.logic_sim import simulate_sequence
+from repro.tdgen.context import TDgenContext
+from repro.tdgen.implication import (
+    available_implication_engines,
+    create_implication_engine,
+)
+
+#: Where minimised failing cases are persisted; every file in here is
+#: replayed as a deterministic tier-1 regression by ``test_corpus.py``.
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+#: Delay-value lookup for serialising PI assignments ('0', '1', 'R', 'F').
+_VALUE_OF_NAME: Dict[str, DelayValue] = {value.name: value for value in PI_VALUES}
+
+_MULTI_INPUT = (
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+)
+_SINGLE_INPUT = (GateType.NOT, GateType.BUF)
+
+#: Implication-state fields the engines must agree on.
+_STATE_FIELDS = (
+    "signal_sets",
+    "frame1",
+    "fault_line_set",
+    "ppi_pair_sets",
+    "conflict_signal",
+)
+
+
+# --------------------------------------------------------------------------- #
+# circuit specification
+# --------------------------------------------------------------------------- #
+@dataclasses.dataclass
+class CircuitSpec:
+    """A serialisable netlist recipe built through the public builder API.
+
+    Attributes:
+        name: circuit name.
+        inputs: primary input names.
+        gates: ``(gate_type_name, output, fanins)`` in creation order.
+        dffs: ``(q, data_source)`` flip-flop bindings.
+        outputs: primary output names.
+    """
+
+    name: str
+    inputs: List[str]
+    gates: List[Tuple[str, str, List[str]]]
+    dffs: List[Tuple[str, str]]
+    outputs: List[str]
+
+    def build(self) -> Circuit:
+        """Materialise the spec into a :class:`~repro.circuit.netlist.Circuit`."""
+        builder = CircuitBuilder(self.name)
+        builder.inputs(self.inputs)
+        for gate_type, output, fanins in self.gates:
+            builder.gate(GateType[gate_type], output, list(fanins))
+        for q, data in self.dffs:
+            builder.dff(q, data)
+        builder.outputs(self.outputs)
+        return builder.build()
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON representation (see :meth:`from_json`)."""
+        return {
+            "name": self.name,
+            "inputs": list(self.inputs),
+            "gates": [[t, o, list(f)] for t, o, f in self.gates],
+            "dffs": [[q, d] for q, d in self.dffs],
+            "outputs": list(self.outputs),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "CircuitSpec":
+        """Rebuild a spec from its :meth:`to_json` representation."""
+        return cls(
+            name=payload["name"],
+            inputs=list(payload["inputs"]),
+            gates=[(t, o, list(f)) for t, o, f in payload["gates"]],
+            dffs=[(q, d) for q, d in payload["dffs"]],
+            outputs=list(payload["outputs"]),
+        )
+
+    @classmethod
+    def generate(cls, rng: random.Random, name: str) -> "CircuitSpec":
+        """A seeded random synchronous circuit (all eight gate types)."""
+        n_inputs = rng.randint(2, 6)
+        n_ffs = rng.randint(0, 4)
+        n_gates = rng.randint(4, 35)
+        inputs = [f"i{index}" for index in range(n_inputs)]
+        ffs = [f"q{index}" for index in range(n_ffs)]
+        pool: List[str] = inputs + ffs
+        gates: List[Tuple[str, str, List[str]]] = []
+        gate_names: List[str] = []
+        for index in range(n_gates):
+            gate_name = f"g{index}"
+            if rng.random() < 0.2:
+                gates.append(
+                    (rng.choice(_SINGLE_INPUT).name, gate_name, [rng.choice(pool)])
+                )
+            else:
+                arity = rng.randint(2, min(4, len(pool)))
+                gates.append(
+                    (rng.choice(_MULTI_INPUT).name, gate_name, rng.sample(pool, arity))
+                )
+            gate_names.append(gate_name)
+            pool.append(gate_name)
+        dffs = [(ff, rng.choice(gate_names)) for ff in ffs]
+        outputs = rng.sample(gate_names, rng.randint(1, min(3, len(gate_names))))
+        return cls(name=name, inputs=inputs, gates=gates, dffs=dffs, outputs=outputs)
+
+
+# --------------------------------------------------------------------------- #
+# fuzz cases
+# --------------------------------------------------------------------------- #
+@dataclasses.dataclass
+class FuzzCase:
+    """One serialisable differential check across all four dispatch layers.
+
+    Attributes:
+        seed: generation seed (kept for reproduction messages).
+        circuit: the netlist recipe.
+        sequences: a batch of equally long three-valued PI vector sequences;
+            ``sequences[0]`` doubles as the grading sequence.
+        initial_state: three-valued PPI state for the scalar replay and the
+            justification-layer frame.
+        pi_assignment: partial eight-valued PI assignment ('0'/'1'/'R'/'F'
+            by name, ``None`` = unassigned) for the implication layer.
+        ppi_initial: partial binary PPI assignment for the implication layer.
+        fault: a fault site (``GateDelayFault.to_json``), or ``None`` for the
+            fault-free implication pass.
+        robust: robustness mode of the implication layer.
+        max_faults: grading-layer cap on the enumerated fault universe.
+    """
+
+    seed: int
+    circuit: CircuitSpec
+    sequences: List[List[Dict[str, Optional[int]]]]
+    initial_state: Dict[str, Optional[int]]
+    pi_assignment: Dict[str, Optional[str]]
+    ppi_initial: Dict[str, Optional[int]]
+    fault: Optional[Dict[str, object]]
+    robust: bool = True
+    max_faults: int = 12
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON representation (see :meth:`from_json`)."""
+        return {
+            "seed": self.seed,
+            "circuit": self.circuit.to_json(),
+            "sequences": self.sequences,
+            "initial_state": self.initial_state,
+            "pi_assignment": self.pi_assignment,
+            "ppi_initial": self.ppi_initial,
+            "fault": self.fault,
+            "robust": self.robust,
+            "max_faults": self.max_faults,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "FuzzCase":
+        """Rebuild a case from its :meth:`to_json` representation."""
+        return cls(
+            seed=payload["seed"],
+            circuit=CircuitSpec.from_json(payload["circuit"]),
+            sequences=[
+                [dict(vector) for vector in sequence]
+                for sequence in payload["sequences"]
+            ],
+            initial_state=dict(payload["initial_state"]),
+            pi_assignment=dict(payload["pi_assignment"]),
+            ppi_initial=dict(payload["ppi_initial"]),
+            fault=payload["fault"],
+            robust=payload.get("robust", True),
+            max_faults=payload.get("max_faults", 12),
+        )
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """The deterministic fuzz case of one seed."""
+    rng = random.Random(0xF022 ^ (seed * 0x9E3779B1))
+    spec = CircuitSpec.generate(rng, f"fuzz{seed}")
+    circuit = spec.build()
+
+    n_sequences = rng.randint(1, 6)
+    n_frames = rng.randint(2, 8)
+    sequences = [
+        [
+            {pi: rng.choice([0, 1, None]) for pi in circuit.primary_inputs}
+            for _ in range(n_frames)
+        ]
+        for _ in range(n_sequences)
+    ]
+    initial_state = {
+        ppi: rng.choice([0, 1, None]) for ppi in circuit.pseudo_primary_inputs
+    }
+    pi_assignment = {
+        pi: (rng.choice(PI_VALUES).name if rng.random() < 0.6 else None)
+        for pi in circuit.primary_inputs
+    }
+    ppi_initial = {
+        ppi: (rng.randint(0, 1) if rng.random() < 0.6 else None)
+        for ppi in circuit.pseudo_primary_inputs
+    }
+    faults = enumerate_delay_faults(circuit)
+    fault = rng.choice(faults).to_json() if rng.random() < 0.85 else None
+    return FuzzCase(
+        seed=seed,
+        circuit=spec,
+        sequences=sequences,
+        initial_state=initial_state,
+        pi_assignment=pi_assignment,
+        ppi_initial=ppi_initial,
+        fault=fault,
+        robust=rng.random() < 0.7,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the differential check
+# --------------------------------------------------------------------------- #
+def _decode_pi_assignment(
+    case: FuzzCase, circuit: Circuit
+) -> Dict[str, Optional[DelayValue]]:
+    """The implication-layer PI assignment as delay values."""
+    return {
+        pi: (_VALUE_OF_NAME[name] if name is not None else None)
+        for pi, name in case.pi_assignment.items()
+        if pi in circuit.signals
+    }
+
+
+def _decode_fault(case: FuzzCase, circuit: Circuit) -> Optional[GateDelayFault]:
+    """The case's fault, or ``None`` when absent or shrunk away."""
+    if case.fault is None:
+        return None
+    fault = GateDelayFault.from_json(case.fault)
+    if fault not in set(enumerate_delay_faults(circuit)):
+        return None
+    return fault
+
+
+def _check_simulation(case: FuzzCase, circuit: Circuit, failures: List[str]) -> None:
+    """Layer 1: scalar clocking and the batched plane path, per backend."""
+    reference = [
+        simulate_sequence(circuit, sequence, initial_state=case.initial_state)
+        for sequence in case.sequences
+    ]
+    for backend in available_backends():
+        if backend == "reference":
+            continue
+        simulator = create_simulator(circuit, backend)
+        # scalar clocking, frame by frame, against the reference frames
+        state = dict(case.initial_state)
+        for index, vector in enumerate(case.sequences[0]):
+            frame = simulator.clock(vector, state)
+            want = reference[0].frames[index]
+            if frame.values != want.values or frame.next_state != want.next_state:
+                failures.append(f"simulation[{backend}]: scalar frame {index} differs")
+                break
+            state = frame.next_state
+        # the batched plane path (the packed/bigint/numpy fast pass)
+        batch = simulator.sequence_batch(
+            case.sequences,
+            initial_states=[dict(case.initial_state) for _ in case.sequences],
+        )
+        for pattern, want in enumerate(reference):
+            got = batch[pattern]
+            if [frame.values for frame in got.frames] != [
+                frame.values for frame in want.frames
+            ]:
+                failures.append(f"simulation[{backend}]: batch pattern {pattern} differs")
+                break
+            if got.final_state != want.final_state:
+                failures.append(
+                    f"simulation[{backend}]: batch final state {pattern} differs"
+                )
+                break
+
+
+def _check_implication_and_kernels(
+    case: FuzzCase, circuit: Circuit, failures: List[str]
+) -> None:
+    """Layers 2+3: implication states, objectives, backtraces, per engine."""
+    context = TDgenContext(circuit)
+    fault = _decode_fault(case, circuit)
+    pi_values = _decode_pi_assignment(case, circuit)
+    ppi_initial = {
+        ppi: value
+        for ppi, value in case.ppi_initial.items()
+        if ppi in circuit.signals
+    }
+    engines = {
+        name: create_implication_engine(
+            circuit, name, robust=case.robust, context=context
+        )
+        for name in available_implication_engines()
+    }
+    oracle = engines.pop("reference")
+    oracle_kernels = oracle.search_kernels()
+
+    want_state = oracle.implicate(pi_values, ppi_initial, fault)
+    free = [pi for pi, value in pi_values.items() if value is None][:2]
+    candidates = [
+        ("pi", name, value) for name in free for value in PI_VALUES
+    ] + [None]
+    want_batch = oracle.implicate_candidates(pi_values, ppi_initial, fault, candidates)
+
+    just_pi = {
+        pi: case.sequences[0][0].get(pi) for pi in circuit.primary_inputs
+    }
+    just_ppi = {
+        ppi: case.initial_state.get(ppi) for ppi in circuit.pseudo_primary_inputs
+    }
+    want_just_frames = oracle.frame_candidates(just_pi, just_ppi, (None,))
+    just_targets = [
+        name
+        for name in circuit.signals
+        if not circuit.gates[name].is_input and not circuit.gates[name].is_dff
+    ][:3]
+
+    for name, engine in engines.items():
+        got_state = engine.implicate(pi_values, ppi_initial, fault)
+        for field in _STATE_FIELDS:
+            if getattr(got_state, field) != getattr(want_state, field):
+                failures.append(f"implication[{name}]: {field} differs")
+                break
+        got_batch = engine.implicate_candidates(
+            pi_values, ppi_initial, fault, candidates
+        )
+        for index in range(len(candidates)):
+            mismatch = [
+                field
+                for field in _STATE_FIELDS
+                if getattr(got_batch.state(index), field)
+                != getattr(want_batch.state(index), field)
+            ]
+            if mismatch:
+                failures.append(
+                    f"implication[{name}]: candidate {index} {mismatch[0]} differs"
+                )
+                break
+        # the incremental cone path, chained off the previous state like
+        # the TDgen search chains it (base= takes a different code path)
+        want_chained = oracle.implicate_candidates(
+            pi_values, ppi_initial, fault, candidates, base=want_state
+        )
+        got_chained = engine.implicate_candidates(
+            pi_values, ppi_initial, fault, candidates, base=got_state
+        )
+        for index in range(len(candidates)):
+            mismatch = [
+                field
+                for field in _STATE_FIELDS
+                if getattr(got_chained.state(index), field)
+                != getattr(want_chained.state(index), field)
+            ]
+            if mismatch:
+                failures.append(
+                    f"implication[{name}]: chained candidate {index} "
+                    f"{mismatch[0]} differs"
+                )
+                break
+
+        # layer 3: the search kernels resolved for this engine
+        kernels = engine.search_kernels()
+        if fault is not None and not want_state.has_conflict():
+            for prefer_po in (True, False):
+                want = oracle_kernels.propagation_objective(
+                    want_state, fault, prefer_po
+                )
+                got = kernels.propagation_objective(got_state, fault, prefer_po)
+                if got != want:
+                    failures.append(f"kernels[{name}]: objective differs")
+                    continue
+                if want is None:
+                    continue
+                if kernels.backtrace(
+                    got_state, fault, want, pi_values, ppi_initial
+                ) != oracle_kernels.backtrace(
+                    want_state, fault, want, pi_values, ppi_initial
+                ):
+                    failures.append(f"kernels[{name}]: backtrace differs")
+        got_just_frames = engine.frame_candidates(just_pi, just_ppi, (None,))
+        for signal in just_targets:
+            for target in (0, 1):
+                want = oracle_kernels.justification_backtrace(
+                    want_just_frames, 0, signal, target, just_pi, just_ppi, True
+                )
+                got = kernels.justification_backtrace(
+                    got_just_frames, 0, signal, target, just_pi, just_ppi, True
+                )
+                if got != want:
+                    failures.append(
+                        f"kernels[{name}]: justification {signal}->{target} differs"
+                    )
+
+
+def _grading_sequence(case: FuzzCase, faults: Sequence[GateDelayFault]) -> TestSequence:
+    """The grading-layer test sequence built from the case's first sequence."""
+    frames = case.sequences[0]
+    fast_index = max(1, len(frames) // 2)
+    schedule = ClockSchedule.for_sequence(
+        initialization_frames=fast_index - 1,
+        propagation_frames=len(frames) - fast_index - 1,
+    )
+    fault = _decode_fault(case, case.circuit.build()) or faults[0]
+    return TestSequence(
+        fault=fault,
+        initialization_vectors=frames[: fast_index - 1],
+        v1=frames[fast_index - 1],
+        v2=frames[fast_index],
+        propagation_vectors=frames[fast_index + 1 :],
+        clock_schedule=schedule,
+        observation_point="",
+        observed_at_po=True,
+    )
+
+
+def _check_grading(case: FuzzCase, circuit: Circuit, failures: List[str]) -> None:
+    """Layer 4: fault grading verdicts, per backend."""
+    faults = sample_faults(enumerate_delay_faults(circuit), case.max_faults)
+    if not faults or len(case.sequences[0]) < 2:
+        return
+    sequence = _grading_sequence(case, faults)
+    want = [
+        (grade.detected, grade.detection_frame, grade.primary_output)
+        for grade in grade_test_sequence(circuit, sequence, faults, backend="reference")
+    ]
+    for backend in available_backends():
+        if backend == "reference":
+            continue
+        got = [
+            (grade.detected, grade.detection_frame, grade.primary_output)
+            for grade in grade_test_sequence(circuit, sequence, faults, backend=backend)
+        ]
+        if got != want:
+            first = next(index for index in range(len(want)) if got[index] != want[index])
+            failures.append(
+                f"grading[{backend}]: fault {faults[first]} verdict differs "
+                f"({got[first]} != {want[first]})"
+            )
+
+
+def check_case(case: FuzzCase) -> List[str]:
+    """Replay ``case`` through all four layers; returns every disagreement."""
+    failures: List[str] = []
+    circuit = case.circuit.build()
+    _check_simulation(case, circuit, failures)
+    _check_implication_and_kernels(case, circuit, failures)
+    _check_grading(case, circuit, failures)
+    return failures
+
+
+# --------------------------------------------------------------------------- #
+# shrinking
+# --------------------------------------------------------------------------- #
+def _shrink_candidates(case: FuzzCase) -> List[FuzzCase]:
+    """Every one-step-smaller variant of ``case``, most aggressive first."""
+    variants: List[FuzzCase] = []
+
+    def clone() -> FuzzCase:
+        return FuzzCase.from_json(json.loads(json.dumps(case.to_json())))
+
+    if len(case.sequences) > 1:
+        for index in range(len(case.sequences)):
+            variant = clone()
+            del variant.sequences[index]
+            variants.append(variant)
+    if len(case.sequences[0]) > 2:
+        for index in range(len(case.sequences[0])):
+            variant = clone()
+            for sequence in variant.sequences:
+                del sequence[index]
+            variants.append(variant)
+    spec = case.circuit
+    if len(spec.outputs) > 1:
+        for index in range(len(spec.outputs)):
+            variant = clone()
+            del variant.circuit.outputs[index]
+            variants.append(variant)
+    # gates (or flip-flops) that feed nothing can be dropped outright
+    referenced = set(spec.outputs)
+    for _, _, fanins in spec.gates:
+        referenced.update(fanins)
+    for _, data in spec.dffs:
+        referenced.add(data)
+    for index, (_, output, _) in enumerate(spec.gates):
+        if output not in referenced:
+            variant = clone()
+            del variant.circuit.gates[index]
+            variants.append(variant)
+    for index, (q, _) in enumerate(spec.dffs):
+        if q not in referenced:
+            variant = clone()
+            del variant.circuit.dffs[index]
+            variant.initial_state.pop(q, None)
+            variant.ppi_initial.pop(q, None)
+            variants.append(variant)
+    if case.fault is not None:
+        variant = clone()
+        variant.fault = None
+        variants.append(variant)
+    # X out individual assignments last (cheapest simplification)
+    for pattern, sequence in enumerate(case.sequences):
+        for frame, vector in enumerate(sequence):
+            for name, value in vector.items():
+                if value is not None:
+                    variant = clone()
+                    variant.sequences[pattern][frame][name] = None
+                    variants.append(variant)
+    for mapping in ("pi_assignment", "ppi_initial", "initial_state"):
+        for name, value in getattr(case, mapping).items():
+            if value is not None:
+                variant = clone()
+                getattr(variant, mapping)[name] = None
+                variants.append(variant)
+    return variants
+
+
+def _is_valid(case: FuzzCase) -> bool:
+    """True when the (possibly shrunk) case still builds a legal circuit."""
+    try:
+        circuit = case.circuit.build()
+    except Exception:
+        return False
+    return bool(circuit.primary_outputs)
+
+
+def shrink_case(case: FuzzCase, predicate=None, max_checks: int = 250) -> FuzzCase:
+    """Greedily minimise ``case`` while ``predicate`` stays true.
+
+    The default predicate is "the differential check still fails", which is
+    the fuzzing loop's shrink; corpus curation passes structural predicates
+    instead (e.g. "the grading layer still detects a fault").
+    """
+    if predicate is None:
+        predicate = lambda candidate: bool(check_case(candidate))  # noqa: E731
+    if not predicate(case):
+        return case
+    checks = 0
+    shrunk = True
+    while shrunk and checks < max_checks:
+        shrunk = False
+        for variant in _shrink_candidates(case):
+            if checks >= max_checks:
+                break
+            if not _is_valid(variant):
+                continue
+            checks += 1
+            if predicate(variant):
+                case = variant
+                shrunk = True
+                break
+    return case
+
+
+# --------------------------------------------------------------------------- #
+# corpus persistence
+# --------------------------------------------------------------------------- #
+def persist_case(case: FuzzCase, failures: Sequence[str], note: str = "") -> Path:
+    """Write a (minimised) failing case into the regression corpus."""
+    payload = {
+        "note": note or "persisted by the differential fuzz harness",
+        "failures_at_discovery": list(failures),
+        "case": case.to_json(),
+    }
+    blob = json.dumps(payload, indent=2, sort_keys=True)
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:10]
+    CORPUS_DIR.mkdir(exist_ok=True)
+    path = CORPUS_DIR / f"fuzz_{digest}.json"
+    path.write_text(blob + "\n", encoding="utf-8")
+    return path
+
+
+def load_corpus() -> List[Tuple[Path, FuzzCase]]:
+    """Every checked-in corpus case, sorted by file name."""
+    if not CORPUS_DIR.is_dir():
+        return []
+    cases = []
+    for path in sorted(CORPUS_DIR.glob("*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        cases.append((path, FuzzCase.from_json(payload["case"])))
+    return cases

@@ -1,0 +1,32 @@
+"""Deterministic replay of the checked-in fuzz regression corpus.
+
+Every JSON file in ``tests/fuzz/corpus/`` is a minimised
+:class:`tests.fuzz.harness.FuzzCase` — either a shrunk disagreement the fuzz
+loop once found, or a curated anchor pinning a tricky shape (X propagation
+through XOR trees, flip-flop feedback, fanout-branch fault sites).  Replaying
+them is tier-1: the corpus must stay green on every push, so past fuzz
+discoveries can never regress silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.fuzz.harness import CORPUS_DIR, check_case, load_corpus
+
+_CORPUS = load_corpus()
+
+
+def test_corpus_is_checked_in():
+    """The regression corpus exists and is non-empty."""
+    assert CORPUS_DIR.is_dir()
+    assert _CORPUS, "tests/fuzz/corpus/ must contain at least one case"
+
+
+@pytest.mark.parametrize(
+    "path,case", _CORPUS, ids=[path.name for path, _ in _CORPUS]
+)
+def test_corpus_case_replays_clean(path, case):
+    """All backends agree on every persisted regression case."""
+    failures = check_case(case)
+    assert not failures, f"{path.name}: {failures}"

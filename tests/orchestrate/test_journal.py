@@ -100,3 +100,22 @@ def test_digest_tracks_circuit_config_and_universe(s27):
     assert base != campaign_digest("s27", {"robust": False}, faults)
     assert base != campaign_digest("s27", {"robust": True}, faults[:-1])
     assert base != campaign_digest("s27", {"robust": True}, list(reversed(faults)))
+
+
+def test_digest_ignores_backend():
+    """Backends are bit-exact, so the digest must not pin one.
+
+    Regression test: ``OrchestratorConfig.digest_payload`` used to include
+    the resolved backend, wrongly blocking a cross-backend ``--resume`` even
+    though every backend produces identical per-fault results.
+    """
+    from repro.orchestrate.coordinator import OrchestratorConfig
+
+    payloads = {
+        backend: OrchestratorConfig(backend=backend).digest_payload()
+        for backend in (None, "packed", "bigint", "numpy", "reference")
+    }
+    reference = payloads[None]
+    for backend, payload in payloads.items():
+        assert payload == reference, f"digest payload differs for {backend}"
+    assert "backend" not in reference

@@ -183,3 +183,38 @@ def test_worker_failure_is_reported(s27):
     orchestrator = CampaignOrchestrator(foreign, config=OrchestratorConfig(jobs=2))
     with pytest.raises(RuntimeError, match="worker"):
         orchestrator.run(faults=faults[:4])
+
+
+def test_resume_under_different_backend(tmp_path, s344_small, s344_serial):
+    """A campaign journaled under one backend resumes under another.
+
+    The digest deliberately excludes the backend (all backends are pinned
+    bit-exact), so the finished per-fault records of a ``packed`` campaign
+    must be accepted — and completed identically — by a ``bigint`` resume.
+    """
+    path = str(tmp_path / "journal.jsonl")
+    CampaignOrchestrator(
+        s344_small,
+        config=OrchestratorConfig(jobs=2, backend="packed"),
+        journal_path=path,
+    ).run()
+
+    records = read_journal(path)
+    kept, per_fault = [], 0
+    for record in records:
+        if record["type"] == "campaign":
+            kept.append(record)
+        elif record["type"] in ("fault", "drop") and per_fault < 30:
+            kept.append(record)
+            per_fault += 1
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in kept:
+            handle.write(json.dumps(record) + "\n")
+
+    resumed = CampaignOrchestrator(
+        s344_small,
+        config=OrchestratorConfig(jobs=2, backend="bigint"),
+        journal_path=path,
+        resume=True,
+    ).run()
+    assert _fingerprint(resumed) == _fingerprint(s344_serial)
