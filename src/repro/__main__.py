@@ -10,6 +10,10 @@ Subcommands:
     (paper Tables 1 and 2).
 ``circuits``
     List the available benchmark circuits and their statistics.
+``serve``
+    Run the ATPG daemon: an HTTP/JSON API with a priority job queue, warm
+    compiled-netlist and result caches, and graceful checkpoint/resume
+    shutdown (see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
@@ -173,6 +177,61 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="run the ATPG daemon (HTTP/JSON API, see docs/SERVICE.md)"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    parser.add_argument(
+        "--port", type=int, default=8352, help="listen port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--state-dir",
+        default="repro-serve-state",
+        metavar="DIR",
+        help=(
+            "directory for the job table, per-job journals and results; a "
+            "restarted daemon pointed at the same directory resumes "
+            "interrupted campaigns"
+        ),
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port to this file once listening (for scripts)",
+    )
+    parser.add_argument(
+        "--paused", action="store_true", help="start with the job queue held"
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import AtpgService
+
+    async def main() -> None:
+        service = AtpgService(
+            state_dir=args.state_dir, host=args.host, port=args.port, paused=args.paused
+        )
+        service.shutdown.hard_exit_on_repeat = True
+        await service.start()
+        service.shutdown.install(asyncio.get_running_loop())
+        print(f"repro serve: listening on http://{args.host}:{service.port}", flush=True)
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(str(service.port))
+        try:
+            await service.run_until_shutdown()
+        finally:
+            service.shutdown.uninstall()
+        print(f"repro serve: stopped ({service.shutdown.reason})", flush=True)
+
+    asyncio.run(main())
+    return 0
+
+
 def _run_tables(_: argparse.Namespace) -> int:
     print("Table 1 — AND gate")
     print(format_truth_table(GateType.AND))
@@ -201,12 +260,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_campaign_parser(subparsers)
+    _add_serve_parser(subparsers)
     subparsers.add_parser("tables", help="print the algebra truth tables (Tables 1 and 2)")
     subparsers.add_parser("circuits", help="list the available benchmark circuits")
 
     args = parser.parse_args(argv)
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "tables":
         return _run_tables(args)
     return _run_circuits(args)

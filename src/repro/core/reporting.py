@@ -53,7 +53,7 @@ def format_campaign_table(results: Sequence[CampaignResult], title: str = "Bench
 
 _SHARD_COLUMNS = (
     "shard", "assigned", "targeted", "dropped", "tested", "untstbl", "aborted",
-    "graded", "time[s]",
+    "absorbed", "time[s]",
 )
 
 
@@ -67,10 +67,10 @@ def format_shard_summary(
     ``shard_stats`` is what :class:`repro.orchestrate.coordinator.
     CampaignOrchestrator` collects from its workers: per shard the number of
     assigned faults (``-`` in the dynamic work-queue mode), how many were
-    explicitly targeted vs. dropped by a broadcast sequence, the verdict
-    split, how many foreign sequences the shard fault-simulated and its wall
-    time.  ``recomputed`` is the coordinator's count of faults the replay
-    merge had to recompute serially.
+    explicitly targeted vs. dropped by a broadcast detection set, the verdict
+    split, how many foreign detection broadcasts the shard absorbed and its
+    wall time.  ``recomputed`` is the coordinator's count of faults the
+    replay merge had to recompute serially.
     """
     rows: List[Dict[str, object]] = []
     for stats in shard_stats:
@@ -84,7 +84,7 @@ def format_shard_summary(
                 "tested": stats.get("tested", 0),
                 "untstbl": stats.get("untestable", 0),
                 "aborted": stats.get("aborted", 0),
-                "graded": stats.get("graded_sequences", 0),
+                "absorbed": stats.get("absorbed_broadcasts", 0),
                 "time[s]": stats.get("seconds", 0),
             }
         )

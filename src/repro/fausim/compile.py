@@ -98,6 +98,17 @@ class CompiledCircuit:
         return len(self.ops)
 
 
+#: Process-wide count of actual (cache-missing) netlist lowerings.  The
+#: service layer's cache tests read it to prove that a same-netlist
+#: resubmission was served from the warmed circuit without recompiling.
+_compile_count = 0
+
+
+def compile_count() -> int:
+    """How many real netlist lowerings this process has performed."""
+    return _compile_count
+
+
 def compile_circuit(circuit: Circuit) -> CompiledCircuit:
     """Lower ``circuit`` to its flat-array form (cached per circuit).
 
@@ -107,6 +118,8 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
     cached = getattr(circuit, "_compiled_cache", None)
     if cached is not None:
         return cached
+    global _compile_count
+    _compile_count += 1
 
     order = combinational_order(circuit)
     signal_names: List[str] = []

@@ -20,6 +20,7 @@ Quickstart::
 """
 
 from repro.orchestrate.coordinator import (
+    CampaignInterrupted,
     CampaignOrchestrator,
     OrchestratorConfig,
     run_parallel_campaign,
@@ -43,6 +44,7 @@ from repro.orchestrate.partition import (
 )
 
 __all__ = [
+    "CampaignInterrupted",
     "CampaignOrchestrator",
     "OrchestratorConfig",
     "run_parallel_campaign",

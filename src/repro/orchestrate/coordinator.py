@@ -12,11 +12,14 @@ same circuit and fault universe.  Three mechanisms combine to get there:
    function of (circuit, settings, fault) — it has no campaign state — so a
    worker's record is exactly what the serial campaign would have computed.
 
-2. **Cross-shard detection exchange.**  Every generated sequence is broadcast
-   to the other shards, which fault-simulate it (packed
-   :func:`~repro.core.verify.grade_test_sequence`) and drop covered faults
-   before targeting them — restoring the serial campaign's fault dropping.
-   Drops obey the *earlier sequences only* rule (see
+2. **Cross-shard detection exchange.**  Every generated sequence's TDsim
+   detection set is broadcast to the other shards, which drop the listed
+   faults before targeting them — restoring the serial campaign's fault
+   dropping *exactly*: the broadcast carries the same detection list that
+   :func:`~repro.core.flow.credit_fault_result` later credits, so a worker
+   never over-drops a fault the serial order would have targeted (the
+   historical gross-delay re-grading pre-filter did, forcing the merge to
+   recompute).  Drops obey the *earlier sequences only* rule (see
    :mod:`repro.orchestrate.worker`), keeping them inside what the serial
    order could do.
 
@@ -57,6 +60,23 @@ from repro.orchestrate.journal import (
 )
 from repro.orchestrate.partition import PARTITION_MODES, derive_shard_seed, plan_shards
 from repro.orchestrate.worker import worker_main
+
+
+class CampaignInterrupted(RuntimeError):
+    """An orchestrated campaign was stopped before finishing.
+
+    Raised when the orchestrator's ``should_stop`` hook fires (graceful
+    daemon shutdown, job cancellation).  Every record received before the
+    stop is already journaled, so a campaign interrupted this way resumes
+    from its journal with nothing lost but the faults that were in flight.
+    """
+
+    def __init__(self, circuit_name: str, recorded: int) -> None:
+        super().__init__(
+            f"campaign for {circuit_name!r} interrupted with {recorded} fault(s) recorded"
+        )
+        self.circuit_name = circuit_name
+        self.recorded = recorded
 
 
 @dataclasses.dataclass
@@ -140,6 +160,14 @@ class CampaignOrchestrator:
             file and the final merged result is appended at the end.
         resume: continue from ``journal_path`` instead of starting over;
             requires the journal to exist and its digest to match.
+        on_record: progress hook — called with every journal-format record
+            (``campaign`` header, ``fault``, ``drop``, final ``result``) as it
+            is produced, whether or not a journal file is attached.  Called
+            from the orchestrating thread; the service layer
+            (:mod:`repro.service`) uses it to stream per-fault progress.
+        should_stop: polled between records (and before every replay-merge
+            recompute); returning True terminates the workers and raises
+            :class:`CampaignInterrupted`, leaving the journal resumable.
     """
 
     def __init__(
@@ -148,6 +176,8 @@ class CampaignOrchestrator:
         config: Optional[OrchestratorConfig] = None,
         journal_path: Optional[str] = None,
         resume: bool = False,
+        on_record=None,
+        should_stop=None,
     ) -> None:
         self.circuit = circuit
         self.config = config or OrchestratorConfig()
@@ -161,9 +191,22 @@ class CampaignOrchestrator:
             raise ValueError("resume requires a journal path")
         self.journal_path = journal_path
         self.resume = resume
+        self.on_record = on_record
+        self.should_stop = should_stop
         self.shard_stats: List[Dict[str, object]] = []
         self.recomputed = 0
         self._fallback_atpg: Optional[SequentialDelayATPG] = None
+
+    def _emit(self, journal: Optional[CampaignJournal], record: Dict[str, object]) -> None:
+        """Checkpoint one record and forward it to the progress hook."""
+        if journal is not None:
+            journal.append(record)
+        if self.on_record is not None:
+            self.on_record(record)
+
+    def _stop_requested(self) -> bool:
+        """True when the ``should_stop`` hook asks for an early exit."""
+        return self.should_stop is not None and bool(self.should_stop())
 
     # ------------------------------------------------------------------ #
     # public API
@@ -216,33 +259,33 @@ class CampaignOrchestrator:
 
         journal = CampaignJournal(self.journal_path) if self.journal_path else None
         try:
-            if journal is not None:
-                journal.append(
-                    {
-                        "type": "campaign",
-                        "circuit": self.circuit.name,
-                        "digest": digest,
-                        "total_faults": len(universe),
-                        "jobs": self.config.jobs,
-                        "partition": self.config.partition,
-                        "campaign_seed": self.config.campaign_seed,
-                        "resumed_records": len(records),
-                    }
-                )
+            self._emit(
+                journal,
+                {
+                    "type": "campaign",
+                    "circuit": self.circuit.name,
+                    "digest": digest,
+                    "total_faults": len(universe),
+                    "jobs": self.config.jobs,
+                    "partition": self.config.partition,
+                    "campaign_seed": self.config.campaign_seed,
+                    "resumed_records": len(records),
+                },
+            )
             remaining = [index for index in range(len(universe)) if index not in records]
             if remaining:
                 self._run_workers(universe, remaining, records, journal, max_target_faults)
             campaign = self._replay(universe, records, max_target_faults, journal, started)
-            if journal is not None:
-                journal.append(
-                    {
-                        "type": "result",
-                        "circuit": self.circuit.name,
-                        "digest": digest,
-                        "max_target_faults": max_target_faults,
-                        "campaign": campaign.to_json(),
-                    }
-                )
+            self._emit(
+                journal,
+                {
+                    "type": "result",
+                    "circuit": self.circuit.name,
+                    "digest": digest,
+                    "max_target_faults": max_target_faults,
+                    "campaign": campaign.to_json(),
+                },
+            )
             return campaign
         finally:
             if journal is not None:
@@ -288,13 +331,13 @@ class CampaignOrchestrator:
             for _ in range(jobs):
                 task_queue.put(None)
 
-        # Re-broadcast the journaled sequences of a resumed campaign so the
-        # remaining faults can still be dropped by them.
+        # Re-broadcast the journaled detection sets of a resumed campaign so
+        # the remaining faults can still be dropped by them.
         for index in sorted(records):
-            sequence = records[index]["result"].get("sequence")
-            if sequence is not None:
+            detections = records[index].get("detections")
+            if detections:
                 for inbox in broadcast_queues:
-                    inbox.put({"index": index, "sequence": sequence})
+                    inbox.put({"index": index, "detections": detections})
 
         processes = []
         for worker_id in range(jobs):
@@ -331,6 +374,8 @@ class CampaignOrchestrator:
         sent_upto = [0] * jobs
         try:
             while len(done) < jobs:
+                if self._stop_requested():
+                    raise CampaignInterrupted(self.circuit.name, len(records))
                 try:
                     message = result_queue.get(timeout=1.0)
                 except queue_module.Empty:
@@ -345,21 +390,22 @@ class CampaignOrchestrator:
                     done.add(message["worker"])
                     self.shard_stats.append(message["stats"])
                     continue
-                if journal is not None:
-                    journal.append(message)
+                self._emit(journal, message)
                 if kind in ("fault", "drop"):
                     completed_log.append(int(message["index"]))
                 if kind == "fault":
                     records[int(message["index"])] = message
-                    sequence = message["result"].get("sequence")
-                    if sequence is not None:
+                    # Broadcast the TDsim detection set — the exact list the
+                    # replay merge credits — so other shards drop precisely
+                    # the faults the serial order would drop, no more.
+                    if message["detections"]:
                         for worker_id, inbox in enumerate(broadcast_queues):
                             if worker_id == message["worker"] or worker_id in done:
                                 continue
                             inbox.put(
                                 {
                                     "index": message["index"],
-                                    "sequence": sequence,
+                                    "detections": message["detections"],
                                     "completed": completed_log[sent_upto[worker_id]:],
                                 }
                             )
@@ -424,21 +470,23 @@ class CampaignOrchestrator:
                 break
             record = records.get(index)
             if record is None:
+                if self._stop_requested():
+                    raise CampaignInterrupted(self.circuit.name, len(records))
                 result = self._fallback(fault)
                 self.recomputed += 1
-                if journal is not None:
-                    journal.append(
-                        {
-                            "type": "fault",
-                            "index": index,
-                            "worker": -1,  # recomputed by the coordinator
-                            "result": _result_payload(result),
-                            "detections": [
-                                detection.to_json()
-                                for detection in result.additionally_detected
-                            ],
-                        }
-                    )
+                self._emit(
+                    journal,
+                    {
+                        "type": "fault",
+                        "index": index,
+                        "worker": -1,  # recomputed by the coordinator
+                        "result": _result_payload(result),
+                        "detections": [
+                            detection.to_json()
+                            for detection in result.additionally_detected
+                        ],
+                    },
+                )
             else:
                 result = FaultResult.from_json(record["result"])
                 result.additionally_detected = [

@@ -3,16 +3,20 @@
 Each worker builds its own :class:`~repro.core.flow.SequentialDelayATPG`
 (compiling the packed netlist once per process) and streams one record per
 fault back to the coordinator over a ``multiprocessing`` queue.  Cross-shard
-fault dropping works through the sequence broadcast: whenever any worker
-generates a test, the coordinator fans the sequence out to every other
-worker, which fault-simulates it with the packed
-:func:`~repro.core.verify.grade_test_sequence` against its own untargeted
-faults and drops the covered ones before ever targeting them.
+fault dropping works through the detection broadcast: whenever any worker
+generates a test, the coordinator fans the sequence's TDsim detection set —
+the exact list :func:`~repro.core.flow.credit_fault_result` will credit
+during the replay merge — out to every other worker, which drops the listed
+faults before ever targeting them.  (Earlier revisions broadcast the raw
+sequence and re-graded it with the gross-delay
+:func:`~repro.core.verify.grade_test_sequence` pre-filter, whose detections
+are a superset of TDsim's; every extra drop forced the merge to recompute
+the fault serially.)
 
-The drop rule is *earlier sequences only*: fault ``i`` may be dropped by a
-sequence generated for fault ``j`` only if ``j < i`` in the global
-enumeration order.  A serial campaign can only ever drop ``i`` that way, so
-the rule keeps the optimistic parallel execution within what the
+The drop rule is *earlier sequences only*: fault ``i`` may be dropped by the
+detections of a sequence generated for fault ``j`` only if ``j < i`` in the
+global enumeration order.  A serial campaign can only ever drop ``i`` that
+way, so the rule keeps the optimistic parallel execution within what the
 coordinator's replay merge can reproduce exactly (anything over-dropped is
 recomputed serially during the merge; anything under-dropped is merely
 wasted work that the merge discards).
@@ -23,14 +27,14 @@ from __future__ import annotations
 import os
 import queue as queue_module
 import random
+import signal
 import time
 import traceback
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.circuit.netlist import Circuit
 from repro.core.flow import SequentialDelayATPG
-from repro.core.results import FaultResultStatus, TestSequence
-from repro.core.verify import grade_test_sequence
+from repro.core.results import FaultResultStatus
 from repro.faults.model import GateDelayFault
 
 
@@ -57,27 +61,17 @@ class _ShardState:
         #: fault index -> index of the earlier fault whose sequence covers it.
         self.covered: Dict[int, int] = {}
         self.backend = backend
-        self.graded_sequences = 0
+        self.absorbed_broadcasts = 0
 
-    def absorb_sequence(self, source_index: int, sequence: TestSequence) -> None:
-        """Grade one broadcast sequence and drop the shard faults it covers."""
-        candidates = sorted(
-            index
-            for index in self.scope
-            if index > source_index and index not in self.covered
+    def absorb_broadcast(
+        self, source_index: int, detections: Sequence[Dict[str, object]]
+    ) -> None:
+        """Apply one broadcast TDsim detection set to this shard's faults."""
+        self.absorbed_broadcasts += 1
+        self.absorb_detections(
+            source_index,
+            [GateDelayFault.from_json(payload) for payload in detections],
         )
-        if not candidates:
-            return
-        grades = grade_test_sequence(
-            self.circuit,
-            sequence,
-            [self.faults[index] for index in candidates],
-            backend=self.backend,
-        )
-        self.graded_sequences += 1
-        for index, grade in zip(candidates, grades):
-            if grade.detected:
-                self.covered[index] = source_index
 
     def absorb_detections(
         self, source_index: int, detections: Sequence[GateDelayFault]
@@ -98,10 +92,9 @@ def _drain_broadcasts(state: _ShardState, broadcast_queue) -> None:
             return
         for index in message.get("completed", ()):
             # Faults another worker already recorded can never be targeted
-            # here, so grading sequences against them would be wasted work.
+            # here, so absorbing detections for them would be wasted work.
             state.scope.discard(index)
-        sequence = TestSequence.from_json(message["sequence"])
-        state.absorb_sequence(int(message["index"]), sequence)
+        state.absorb_broadcast(int(message["index"]), message["detections"])
 
 
 def _process_fault(
@@ -147,6 +140,28 @@ def _process_fault(
     )
 
 
+def _reset_inherited_signals() -> None:
+    """Detach a fork-started worker from the parent's signal machinery.
+
+    When the coordinator lives inside an asyncio process (the ATPG daemon),
+    fork-started workers inherit ``loop.add_signal_handler``'s state: a
+    no-op Python handler for SIGTERM/SIGINT *and* the wakeup fd that pipes
+    every received signal number back into the parent's event loop.  Left
+    in place, a ``terminate()`` aimed at the worker (a) does not kill it
+    (the handler is a no-op) and (b) echoes a spurious SIGTERM into the
+    parent's loop — which the daemon would read as a second shutdown
+    request.  Workers therefore restore the default SIGTERM disposition,
+    ignore SIGINT (the coordinator drives graceful stops; a terminal
+    Ctrl-C must not shred the shards mid-fault) and drop the wakeup fd.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread/platform
+        pass
+
+
 def worker_main(
     worker_id: int,
     seed: int,
@@ -177,11 +192,13 @@ def worker_main(
             sentinel.
         result_queue: stream of fault / drop / done / error records back to
             the coordinator.
-        broadcast_queue: this worker's inbox of sequences generated by other
-            shards (and, on resume, of journaled sequences).
+        broadcast_queue: this worker's inbox of TDsim detection sets from
+            sequences generated by other shards (and, on resume, of
+            journaled detection sets).
         atpg_kwargs: keyword arguments for
             :class:`~repro.core.flow.SequentialDelayATPG`.
     """
+    _reset_inherited_signals()
     random.seed(seed)
     parent = os.getppid()
     start = time.perf_counter()
@@ -228,7 +245,7 @@ def worker_main(
                     "worker": worker_id,
                     "seed": seed,
                     "assigned": len(assigned) if task_queue is None else None,
-                    "graded_sequences": state.graded_sequences,
+                    "absorbed_broadcasts": state.absorbed_broadcasts,
                     "seconds": round(time.perf_counter() - start, 3),
                     **stats,
                 },

@@ -1,0 +1,39 @@
+"""ATPG-as-a-service: the long-lived daemon in front of the batch stack.
+
+Everything below this package serves one submission at a time from scratch;
+:mod:`repro.service` keeps the expensive state warm across requests — an
+asyncio HTTP/JSON API (:mod:`~repro.service.api`), a priority job queue
+feeding the :mod:`repro.orchestrate` worker pool
+(:mod:`~repro.service.jobs`), digest-keyed caches of compiled netlists and
+finished campaigns (:mod:`~repro.service.cache`) and signal-driven graceful
+shutdown that checkpoints in-flight campaigns through the JSONL journal
+(:mod:`~repro.service.shutdown`).  Start it with ``python -m repro serve``;
+the endpoint reference lives in ``docs/SERVICE.md``.
+
+Quickstart::
+
+    from repro.service import ServiceThread
+
+    with ServiceThread(state_dir="/tmp/atpg-state") as daemon:
+        ...  # POST http://127.0.0.1:{daemon.port}/jobs
+"""
+
+from repro.service.api import ApiError
+from repro.service.app import AtpgService, ServiceThread
+from repro.service.cache import NetlistCache, ResultCache, campaign_cache_key, netlist_digest
+from repro.service.jobs import Job, JobSpec, JobStore
+from repro.service.shutdown import ShutdownController
+
+__all__ = [
+    "ApiError",
+    "AtpgService",
+    "ServiceThread",
+    "NetlistCache",
+    "ResultCache",
+    "campaign_cache_key",
+    "netlist_digest",
+    "Job",
+    "JobSpec",
+    "JobStore",
+    "ShutdownController",
+]

@@ -1,0 +1,265 @@
+"""Minimal HTTP/1.1 JSON layer of the ATPG daemon.
+
+Hand-rolled on ``asyncio`` streams — the stdlib ships no async HTTP server
+and the repo takes no new dependencies — and deliberately small: every
+response is JSON, every connection is ``Connection: close``, bodies are
+bounded, and malformed requests map to 4xx JSON errors instead of dropped
+connections.  The request surface is documented in ``docs/SERVICE.md``.
+
+Routing is a plain table of ``(method, pattern)`` pairs where a pattern
+segment like ``{id}`` captures one path segment::
+
+    router.add("GET", "/jobs/{id}/result", handler)
+
+Handlers are ``async def handler(request, **captures)`` returning either a
+``(status, payload)`` pair or a :class:`StreamResponse` for endpoints that
+stream NDJSON progress records.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+from typing import AsyncIterator, Callable, Dict, List, Optional, Tuple
+
+#: Upper bound on request bodies (a large .bench is ~100 bytes per gate, so
+#: 8 MiB comfortably covers s38417-class netlists).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Upper bound on the request line + each header line.
+MAX_LINE_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ApiError(Exception):
+    """An error response: HTTP status plus a JSON ``error`` message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> object:
+        """The request body parsed as JSON; raises :class:`ApiError` (400)."""
+        if not self.body:
+            raise ApiError(400, "request body must be JSON (got an empty body)")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(400, f"request body is not valid JSON: {exc}") from None
+
+    def query_int(self, name: str, default: int) -> int:
+        """An integer query parameter; raises :class:`ApiError` (400)."""
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ApiError(400, f"query parameter {name!r} must be an integer") from None
+
+
+class StreamResponse:
+    """An EOF-terminated NDJSON streaming response.
+
+    The daemon answers streams with ``Connection: close`` and no
+    ``Content-Length``; each item of ``records`` is written as one JSON line
+    and flushed immediately, so a client following a running campaign sees
+    every per-fault record as it happens.
+    """
+
+    def __init__(self, records: AsyncIterator[Dict[str, object]]) -> None:
+        self.records = records
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; None when the peer closed cleanly."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ApiError(400, "truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise ApiError(400, "request line too long") from None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ApiError(400, "malformed request line")
+    method, target = parts[0].upper(), parts[1]
+
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readuntil(b"\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise ApiError(400, "truncated request headers") from None
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise ApiError(400, f"malformed header line: {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ApiError(400, "malformed Content-Length header") from None
+        if length < 0:
+            raise ApiError(400, "malformed Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        raise ApiError(400, "chunked request bodies are not supported")
+
+    parsed = urllib.parse.urlsplit(target)
+    query = dict(urllib.parse.parse_qsl(parsed.query, keep_blank_values=True))
+    return Request(method, parsed.path, query, headers, body)
+
+
+def _head(status: int, extra: str = "") -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Server: repro-atpg\r\n"
+        "Connection: close\r\n"
+        f"{extra}"
+    ).encode("latin-1")
+
+
+async def write_json(
+    writer: asyncio.StreamWriter, status: int, payload: object
+) -> None:
+    """Send one complete JSON response."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    writer.write(
+        _head(
+            status,
+            f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n\r\n",
+        )
+    )
+    writer.write(body)
+    await writer.drain()
+
+
+async def write_stream(
+    writer: asyncio.StreamWriter, response: StreamResponse
+) -> None:
+    """Send an NDJSON stream, flushing record by record, EOF-terminated."""
+    writer.write(_head(200, "Content-Type: application/x-ndjson\r\n\r\n"))
+    await writer.drain()
+    async for record in response.records:
+        writer.write((json.dumps(record, sort_keys=True) + "\n").encode("utf-8"))
+        await writer.drain()
+
+
+Handler = Callable[..., object]
+
+
+class Router:
+    """Method + path-pattern dispatch table."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, Tuple[str, ...], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` on ``pattern``."""
+        self._routes.append((method.upper(), tuple(pattern.strip("/").split("/")), handler))
+
+    def resolve(self, method: str, path: str) -> Tuple[Handler, Dict[str, str]]:
+        """The handler and captures for a request; raises 404/405 ApiError."""
+        segments = tuple(segment for segment in path.strip("/").split("/") if segment != "")
+        path_matched = False
+        for route_method, route_segments, handler in self._routes:
+            captures = _match(route_segments, segments)
+            if captures is None:
+                continue
+            path_matched = True
+            if route_method == method:
+                return handler, captures
+        if path_matched:
+            raise ApiError(405, f"method {method} is not allowed on {path}")
+        raise ApiError(404, f"no such endpoint: {path}")
+
+
+def _match(
+    pattern: Tuple[str, ...], segments: Tuple[str, ...]
+) -> Optional[Dict[str, str]]:
+    """Match one route pattern against path segments, capturing ``{name}``s."""
+    if pattern == ("",):
+        pattern = ()
+    if len(pattern) != len(segments):
+        return None
+    captures: Dict[str, str] = {}
+    for expected, actual in zip(pattern, segments):
+        if expected.startswith("{") and expected.endswith("}"):
+            captures[expected[1:-1]] = urllib.parse.unquote(actual)
+        elif expected != actual:
+            return None
+    return captures
+
+
+async def handle_connection(
+    router: Router, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """Serve one connection: parse, route, respond, close."""
+    try:
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            handler, captures = router.resolve(request.method, request.path)
+            response = await handler(request, **captures)
+        except ApiError as exc:
+            await write_json(writer, exc.status, {"error": exc.message})
+            return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        except Exception as exc:  # noqa: BLE001 - any handler bug -> 500, not a hang
+            await write_json(writer, 500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        if isinstance(response, StreamResponse):
+            await write_stream(writer, response)
+        else:
+            status, payload = response
+            await write_json(writer, status, payload)
+    except (ConnectionError, asyncio.CancelledError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,159 @@
+"""Digest-keyed caches of the ATPG daemon.
+
+Two tiers, both LRU-bounded and thread-safe (the daemon's event loop and its
+campaign executor thread touch them concurrently):
+
+:class:`NetlistCache`
+    ``netlist digest -> warmed Circuit``.  The digest is the SHA-256 of the
+    circuit's canonical ``.bench`` text, so two submissions of the same
+    netlist — whatever route they arrived by (registry name, inline bench
+    text) and whatever campaign settings they carry — resolve to *one*
+    circuit instance whose compiled flat arrays
+    (:func:`repro.fausim.compile.compile_circuit`) are already attached.
+    Re-submissions therefore skip compilation entirely, and fork-started
+    campaign workers inherit the warm arrays through process memory.
+
+:class:`ResultCache`
+    ``campaign key -> finished CampaignResult JSON``.  The key combines the
+    netlist digest with the journal layer's
+    :func:`~repro.orchestrate.journal.campaign_digest` (settings + fault
+    universe) and the target cap, so an identical submission is answered
+    instantly from cache — no queueing, no workers, no search.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.circuit.bench import write_bench
+from repro.circuit.netlist import Circuit
+from repro.faults.model import GateDelayFault
+from repro.fausim.compile import compile_circuit
+from repro.orchestrate.journal import campaign_digest
+
+
+def netlist_digest(circuit: Circuit) -> str:
+    """Fingerprint of a netlist: SHA-256 over its canonical ``.bench`` text.
+
+    The circuit *name* is deliberately excluded — the same netlist submitted
+    under two names is still the same compile work and the same campaign
+    (fault sites are named after signals, not after the circuit).
+    """
+    lines = [line for line in write_bench(circuit).splitlines() if not line.startswith("#")]
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()[:16]
+
+
+def campaign_cache_key(
+    net_digest: str,
+    circuit_name: str,
+    config_payload: Dict[str, object],
+    faults: Sequence[GateDelayFault],
+    max_target_faults: Optional[int],
+) -> str:
+    """Cache key of one finished campaign result.
+
+    ``campaign_digest`` already covers the generation settings and the fault
+    universe; the netlist digest pins the actual structure (two different
+    netlists may enumerate identically named fault sites) and the cap is
+    appended because the stored merge is only valid for the same cap.
+    """
+    digest = campaign_digest(circuit_name, config_payload, faults)
+    return f"{net_digest}:{digest}:{max_target_faults}"
+
+
+class _LruCache:
+    """Minimal thread-safe LRU with hit/miss accounting."""
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+
+    def get(self, key: str):
+        """The cached value for ``key``, or None (counts a hit or a miss)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value: object) -> None:
+        """Insert (or refresh) one entry, evicting the least recently used."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Entry / hit / miss / eviction counters for the ``/cache`` endpoint."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class NetlistCache:
+    """Digest-keyed cache of warmed (compiled) circuits."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        self._cache = _LruCache(max_entries)
+
+    def warm(self, circuit: Circuit) -> Tuple[Circuit, str, bool]:
+        """Return the canonical warmed instance of ``circuit``.
+
+        Computes the netlist digest; on a hit the previously warmed instance
+        is returned (the submitted duplicate is discarded), on a miss the
+        submitted circuit's compiled arrays are built here — once — and the
+        instance becomes the canonical one.  Returns
+        ``(circuit, digest, was_hit)``.
+        """
+        digest = netlist_digest(circuit)
+        cached = self._cache.get(digest)
+        if cached is not None:
+            return cached, digest, True
+        compile_circuit(circuit)
+        self._cache.put(digest, circuit)
+        return circuit, digest, False
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for the ``/cache`` endpoint."""
+        return self._cache.stats()
+
+
+class ResultCache:
+    """Campaign-key-keyed cache of finished CampaignResult JSON payloads."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self._cache = _LruCache(max_entries)
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored campaign JSON for ``key``, or None."""
+        return self._cache.get(key)
+
+    def put(self, key: str, campaign_json: Dict[str, object]) -> None:
+        """Store one finished campaign's JSON under its cache key."""
+        self._cache.put(key, campaign_json)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for the ``/cache`` endpoint."""
+        return self._cache.stats()

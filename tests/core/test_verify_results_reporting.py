@@ -214,17 +214,17 @@ def test_format_shard_summary_renders_worker_stats():
         {
             "worker": 0, "assigned": 13, "targeted": 5, "dropped": 8,
             "tested": 1, "untestable": 2, "aborted": 2,
-            "graded_sequences": 6, "seconds": 0.25,
+            "absorbed_broadcasts": 6, "seconds": 0.25,
         },
         {
             "worker": 1, "assigned": None, "targeted": 4, "dropped": 9,
             "tested": 4, "untestable": 0, "aborted": 0,
-            "graded_sequences": 3, "seconds": 0.5,
+            "absorbed_broadcasts": 3, "seconds": 0.5,
         },
     ]
     text = format_shard_summary(stats, recomputed=2, title="Shard summary — s27")
     assert "Shard summary — s27" in text
-    assert "shard" in text and "dropped" in text and "graded" in text
+    assert "shard" in text and "dropped" in text and "absorbed" in text
     assert "-" in text  # dynamic-mode shard shows no assigned count
     assert "recomputed 2" in text
     lines = text.splitlines()

@@ -75,7 +75,28 @@ def test_static_modes_match_serial_with_dropping(s344_small, s344_serial):
         assert stats_total == s344_serial.total_faults
         # The campaign must actually have exercised the broadcast exchange.
         assert sum(stats["dropped"] for stats in orchestrator.shard_stats) > 0
-        assert sum(stats["graded_sequences"] for stats in orchestrator.shard_stats) > 0
+        assert sum(stats["absorbed_broadcasts"] for stats in orchestrator.shard_stats) > 0
+
+
+def test_broadcast_detections_eliminate_merge_recompute(s344_small, s344_serial):
+    """Regression: the merge must not recompute over-dropped faults.
+
+    Broadcasts used to carry raw sequences that receiving shards re-graded
+    with the gross-delay pre-filter — a superset of the TDsim detections the
+    replay merge credits, so ~20 faults per s344@0.3 campaign were dropped in
+    parallel, missing from the records, and recomputed serially during the
+    merge.  Broadcasting the source shard's TDsim detection set instead makes
+    worker drops exactly the serial drops: zero recomputes.
+    """
+    for mode in ("round-robin", "size-aware", "dynamic"):
+        orchestrator = CampaignOrchestrator(
+            s344_small, config=OrchestratorConfig(jobs=4, partition=mode)
+        )
+        parallel = orchestrator.run()
+        assert _fingerprint(parallel) == _fingerprint(s344_serial), mode
+        assert orchestrator.recomputed == 0, mode
+        # Dropping still happens — it just mirrors the serial credit exactly.
+        assert sum(stats["dropped"] for stats in orchestrator.shard_stats) > 0, mode
 
 
 def test_dynamic_work_queue_matches_serial(s344_small, s344_serial):

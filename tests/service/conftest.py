@@ -1,0 +1,115 @@
+"""Shared fixtures for the service-level test harness.
+
+Every e2e test talks to a real daemon over real HTTP: an
+:class:`~repro.service.app.ServiceThread` bound to an ephemeral loopback
+port, with its state directory in a pytest temp dir.  The ``http`` fixture
+is a tiny urllib client that returns ``(status, parsed_json)`` for both
+success and error responses so 4xx paths are assertable without
+try/except noise in every test.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceThread
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client for one daemon instance."""
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+        self.base = f"http://127.0.0.1:{port}"
+
+    def request(self, method, path, payload=None, timeout=60):
+        """One request; returns (status, parsed JSON body) even for 4xx/5xx."""
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        req = urllib.request.Request(
+            self.base + path, data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def get(self, path, **kwargs):
+        """GET shorthand."""
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path, payload=None, **kwargs):
+        """POST shorthand."""
+        return self.request("POST", path, payload, **kwargs)
+
+    def submit(self, payload):
+        """Submit a job, asserting the 202, and return its id."""
+        status, body = self.post("/jobs", payload)
+        assert status == 202, body
+        return body["job"]["id"]
+
+    def wait(self, job_id, timeout=300.0):
+        """Poll a job until it leaves queued/running; returns its public JSON."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status, body = self.get(f"/jobs/{job_id}")
+            assert status == 200, body
+            job = body["job"]
+            if job["status"] not in ("queued", "running"):
+                return job
+            if time.monotonic() > deadline:
+                raise AssertionError(f"job {job_id} still {job['status']} after {timeout}s")
+            time.sleep(0.05)
+
+    def result(self, job_id):
+        """Fetch a finished job's result payload, asserting the 200."""
+        status, body = self.get(f"/jobs/{job_id}/result")
+        assert status == 200, body
+        return body
+
+
+@pytest.fixture()
+def daemon_factory(tmp_path):
+    """Start in-process daemons on ephemeral ports; all stopped at teardown.
+
+    Returns ``start(state_dir=None, **kwargs) -> (ServiceThread, ServiceClient)``;
+    passing the same ``state_dir`` across calls exercises restart/resume.
+    """
+    threads = []
+
+    def start(state_dir=None, **kwargs):
+        if state_dir is None:
+            state_dir = tmp_path / "state"
+        thread = ServiceThread(state_dir=str(state_dir), **kwargs).start()
+        threads.append(thread)
+        return thread, ServiceClient(thread.port)
+
+    yield start
+    for thread in threads:
+        thread.stop()
+
+
+@pytest.fixture()
+def daemon(daemon_factory):
+    """One running daemon and its client: ``(ServiceThread, ServiceClient)``."""
+    return daemon_factory()
+
+
+def result_fingerprint(campaign_json):
+    """Everything the serial-equivalence contract covers, minus timing.
+
+    Mirrors ``tests/orchestrate/test_parallel_campaign._fingerprint`` but
+    operates on the CampaignResult JSON the service returns: ``time_s`` and
+    ``cpu_seconds`` are the only wall-clock-dependent fields.
+    """
+    return {
+        key: value
+        for key, value in campaign_json.items()
+        if key not in ("time_s", "cpu_seconds")
+    }
