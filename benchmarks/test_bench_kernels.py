@@ -19,20 +19,20 @@ C-speed vectorisation, so the bigint substrate is the fastest tier at
 ISCAS'89 scale, while the levelized numpy kernel pays int-to-array
 conversion at every pass boundary.)
 
-Every run rewrites ``benchmarks/BENCH_kernels.json`` with the per-backend
-wall clock and speedups, so the perf trajectory is tracked in-repo across
-PRs instead of living only in CI logs.
+Every run rewrites ``BENCH_kernels.json`` at the repository root (via
+:func:`benchconfig.write_bench_results`) with the per-backend wall clock and
+speedups, so the perf trajectory is tracked in-repo across PRs instead of
+living only in CI logs.
 """
 
 from __future__ import annotations
 
-import json
 import random
 import time
-from pathlib import Path
 
 import pytest
 
+from benchconfig import read_bench_results, write_bench_results
 from repro.core.clocking import ClockSchedule
 from repro.core.results import TestSequence
 from repro.core.verify import grade_test_sequence
@@ -45,8 +45,6 @@ from repro.fausim.numpy_sim import NumpyLogicSimulator
 #: complete fault universe of the s838 surrogate at half scale.
 CIRCUIT, SCALE, SEED = "s838", 0.5, 0
 N_FRAMES = 12
-
-RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_kernels.json"
 
 
 @pytest.fixture(scope="module")
@@ -129,9 +127,7 @@ def test_bench_kernel_tier_speedup(workload):
         "numpy_available": HAVE_NUMPY,
         "backends": results,
     }
-    RESULTS_PATH.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    write_bench_results("kernels", payload)
 
     # the bigint substrate is the tier's floor: always gated
     assert results["bigint"]["speedup_vs_packed"] >= 5.0, (
@@ -151,9 +147,9 @@ def test_bench_kernel_tier_speedup(workload):
 
 def test_bench_kernels_json_is_fresh(workload):
     """The machine-readable results file matches the current workload."""
-    if not RESULTS_PATH.exists():
+    payload = read_bench_results("kernels")
+    if payload is None:
         pytest.skip("BENCH_kernels.json not generated yet in this checkout")
-    payload = json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
     assert payload["workload"]["circuit"] == CIRCUIT
     assert payload["workload"]["n_faults"] == len(workload[2])
     assert set(payload["backends"]) == {"bigint", "numpy"}

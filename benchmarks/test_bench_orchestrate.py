@@ -20,6 +20,7 @@ import time
 
 import pytest
 
+from benchconfig import write_bench_results
 from repro.core.flow import SequentialDelayATPG
 from repro.data import load_circuit
 from repro.faults.model import enumerate_delay_faults, sample_faults
@@ -103,6 +104,22 @@ def test_bench_orchestrate_speedup():
         f"{total_faults} faults): serial {serial_seconds:.2f}s -> "
         f"--jobs {JOBS} {parallel_seconds:.2f}s ({speedup:.2f}x, "
         f"{recomputed} fault(s) recomputed in the merge)"
+    )
+    write_bench_results(
+        "orchestrate",
+        {
+            "workload": {
+                "circuits": [f"{name}@{scale}" for name, scale in CIRCUITS],
+                "n_faults_per_circuit": N_FAULTS_PER_CIRCUIT,
+                "jobs": JOBS,
+                "description": "multi-circuit campaign, sharded vs serial",
+            },
+            "serial_seconds": round(serial_seconds, 6),
+            "parallel_seconds": round(parallel_seconds, 6),
+            "speedup": round(speedup, 2),
+            "recomputed": recomputed,
+            "gate": 2.0,
+        },
     )
     assert speedup >= 2.0, (
         f"sharded campaign only {speedup:.2f}x faster than serial "

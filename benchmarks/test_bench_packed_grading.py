@@ -18,6 +18,7 @@ import time
 
 import pytest
 
+from benchconfig import write_bench_results
 from repro.core.clocking import ClockSchedule
 from repro.core.results import TestSequence
 from repro.core.verify import grade_test_sequence
@@ -94,6 +95,21 @@ def test_bench_packed_grading_speedup(workload):
         f"\npacked grading: {reference_seconds:.3f}s -> {packed_seconds:.3f}s "
         f"({speedup:.1f}x, {len(faults)} faults x {N_FRAMES} frames on "
         f"{circuit.name}, {detected} detected)"
+    )
+    write_bench_results(
+        "packed_grading",
+        {
+            "workload": {
+                "circuit": circuit.name,
+                "n_faults": len(faults),
+                "n_frames": N_FRAMES,
+                "description": "grade_test_sequence, packed vs reference replay",
+            },
+            "reference_seconds": round(reference_seconds, 6),
+            "packed_seconds": round(packed_seconds, 6),
+            "speedup": round(speedup, 2),
+            "gate": 5.0,
+        },
     )
     assert speedup >= 5.0, (
         f"packed grading only {speedup:.1f}x faster than reference "

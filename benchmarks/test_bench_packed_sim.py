@@ -18,6 +18,7 @@ import time
 
 import pytest
 
+from benchconfig import write_bench_results
 from repro.data import load_circuit
 from repro.fausim import LogicSimulator, PackedLogicSimulator, simulate_sequence
 
@@ -94,6 +95,21 @@ def test_bench_packed_speedup(workload):
     print(
         f"\npacked backend: {reference_seconds:.3f}s -> {packed_seconds:.3f}s "
         f"({speedup:.1f}x, {N_SEQUENCES} sequences x {N_FRAMES} frames on {circuit.name})"
+    )
+    write_bench_results(
+        "packed_sim",
+        {
+            "workload": {
+                "circuit": circuit.name,
+                "n_sequences": N_SEQUENCES,
+                "n_frames": N_FRAMES,
+                "description": "good-machine sequence batch, packed vs reference",
+            },
+            "reference_seconds": round(reference_seconds, 6),
+            "packed_seconds": round(packed_seconds, 6),
+            "speedup": round(speedup, 2),
+            "gate": 10.0,
+        },
     )
     assert speedup >= 10.0, (
         f"packed backend only {speedup:.1f}x faster than reference "

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import time
 
+from benchconfig import write_bench_results
 from repro.core.flow import SequentialDelayATPG
 from repro.data import load_circuit
 from repro.faults.model import enumerate_delay_faults, sample_faults
@@ -91,6 +92,20 @@ def test_bench_search_side_speedup():
         f"untestable={compiled_campaign.untestable} "
         f"aborted={compiled_campaign.aborted}"
     )
+    write_bench_results(
+        "search_side",
+        {
+            "workload": {
+                "circuit": f"s838@{SCALE}",
+                "n_faults": N_FAULTS,
+                "description": "full campaign, compiled vs interpreted search side",
+            },
+            "interpreted_seconds": round(interpreted_seconds, 6),
+            "compiled_seconds": round(compiled_seconds, 6),
+            "speedup": round(speedup, 2),
+            "gate": 2.0,
+        },
+    )
     assert speedup >= 2.0, (
         f"compiled search side only {speedup:.2f}x faster than interpreted "
         f"({interpreted_seconds:.2f}s vs {compiled_seconds:.2f}s)"
@@ -114,6 +129,20 @@ def test_bench_search_kernel_speedup():
         f"\nsearch kernels (s838 surrogate, scale {SCALE}, {N_FAULTS} faults): "
         f"interpreted {interpreted_seconds:.2f}s -> compiled "
         f"{compiled_seconds:.2f}s ({speedup:.2f}x)"
+    )
+    write_bench_results(
+        "search_kernels",
+        {
+            "workload": {
+                "circuit": f"s838@{SCALE}",
+                "n_faults": N_FAULTS,
+                "description": "full campaign, compiled vs interpreted search kernels",
+            },
+            "interpreted_seconds": round(interpreted_seconds, 6),
+            "compiled_seconds": round(compiled_seconds, 6),
+            "speedup": round(speedup, 2),
+            "gate": 1.05,
+        },
     )
     assert speedup >= 1.05, (
         f"compiled search kernels only {speedup:.2f}x faster than interpreted "

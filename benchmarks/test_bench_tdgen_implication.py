@@ -24,6 +24,7 @@ import time
 
 import pytest
 
+from benchconfig import write_bench_results
 from repro.core.flow import SequentialDelayATPG
 from repro.data import load_circuit
 from repro.faults.model import enumerate_delay_faults, sample_faults
@@ -102,6 +103,20 @@ def test_bench_tdgen_implication_speedup():
         f"packed {packed_seconds:.2f}s ({speedup:.2f}x); "
         f"tested={packed_campaign.tested} untestable={packed_campaign.untestable} "
         f"aborted={packed_campaign.aborted}"
+    )
+    write_bench_results(
+        "tdgen_implication",
+        {
+            "workload": {
+                "circuit": f"s838@{SCALE}",
+                "n_faults": N_FAULTS,
+                "description": "full TDgen+SEMILET campaign, packed vs reference implication",
+            },
+            "reference_seconds": round(reference_seconds, 6),
+            "packed_seconds": round(packed_seconds, 6),
+            "speedup": round(speedup, 2),
+            "gate": 3.0,
+        },
     )
     assert speedup >= 3.0, (
         f"packed implication campaign only {speedup:.2f}x faster than reference "

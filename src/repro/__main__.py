@@ -28,6 +28,7 @@ from repro.algebra.tables import format_truth_table
 from repro.core.flow import SequentialDelayATPG
 from repro.core.reporting import (
     format_campaign_table,
+    format_prefix_summary,
     format_shard_summary,
     format_untestable_breakdown,
 )
@@ -95,6 +96,36 @@ def _add_campaign_parser(subparsers) -> None:
         help="campaign seed from which every worker derives its RNG seed",
     )
     parser.add_argument(
+        "--rpg-prefix",
+        action="store_true",
+        help=(
+            "hybrid campaign: run a random-pattern prefix phase first — "
+            "seeded random sequences are graded fault-parallel against the "
+            "whole remaining universe and TDsim-confirmed detections are "
+            "dropped before the deterministic flow targets the residue; "
+            "the result stays bit-identical across --jobs/--partition and "
+            "across --resume for a fixed --seed"
+        ),
+    )
+    parser.add_argument(
+        "--rpg-budget",
+        type=int,
+        default=256,
+        metavar="N",
+        help="max random sequences of the prefix phase (default: 256)",
+    )
+    parser.add_argument(
+        "--rpg-window",
+        type=int,
+        default=16,
+        metavar="W",
+        help=(
+            "adaptive stopping window: hand over to the deterministic flow "
+            "once the last W random sequences credited no new detection "
+            "(default: 16)"
+        ),
+    )
+    parser.add_argument(
         "--journal",
         default=None,
         metavar="PATH",
@@ -139,6 +170,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 local_backtrack_limit=args.backtrack_limit,
                 sequential_backtrack_limit=args.backtrack_limit,
                 backend=args.backend,
+                rpg_prefix=args.rpg_prefix,
+                rpg_budget=args.rpg_budget,
+                rpg_window=args.rpg_window,
             )
             orchestrator = CampaignOrchestrator(
                 circuit,
@@ -163,14 +197,27 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 sequential_backtrack_limit=args.backtrack_limit,
                 backend=args.backend,
             )
+            prefix = None
+            if args.rpg_prefix:
+                from repro.core.prefilter import PrefixConfig
+
+                prefix = PrefixConfig(
+                    budget=args.rpg_budget,
+                    window=args.rpg_window,
+                    seed=args.seed,
+                )
             campaign = atpg.run(
                 max_target_faults=max_faults,
                 time_limit_s=args.time_limit,
+                prefix=prefix,
             )
         campaigns.append(campaign)
     print(format_campaign_table(campaigns, title="Gate delay fault ATPG results"))
     print()
     print(format_untestable_breakdown(campaigns))
+    if any(campaign.prefix_applied for campaign in campaigns):
+        print()
+        print(format_prefix_summary(campaigns))
     for report in shard_reports:
         print()
         print(report)

@@ -16,10 +16,10 @@ from __future__ import annotations
 import dataclasses
 import random
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.circuit.netlist import Circuit
-from repro.core.clocking import ClockSchedule
+from repro.core.randseq import random_test_sequence
 from repro.core.results import TestSequence
 from repro.core.verify import grade_test_sequence
 from repro.faults.model import FaultList, FaultStatus, GateDelayFault, enumerate_delay_faults
@@ -69,26 +69,9 @@ class RandomSequenceATPG:
         self.seed = seed
         self.backend = resolve_backend(backend)
 
-    def _random_vector(self, rng: random.Random) -> Dict[str, int]:
-        return {pi: rng.randint(0, 1) for pi in self.circuit.primary_inputs}
-
     def _random_sequence(self, rng: random.Random, fault: GateDelayFault) -> TestSequence:
-        vectors = [self._random_vector(rng) for _ in range(self.sequence_length)]
-        fast_index = rng.randint(1, self.sequence_length - 1)
-        schedule = ClockSchedule.for_sequence(
-            initialization_frames=fast_index - 1,
-            propagation_frames=self.sequence_length - fast_index - 1,
-        )
-        return TestSequence(
-            fault=fault,
-            initialization_vectors=vectors[: fast_index - 1],
-            v1=vectors[fast_index - 1],
-            v2=vectors[fast_index],
-            propagation_vectors=vectors[fast_index + 1 :],
-            clock_schedule=schedule,
-            observation_point="",
-            observed_at_po=True,
-        )
+        """One random sequence from the shared generator (same draw order)."""
+        return random_test_sequence(rng, self.circuit, self.sequence_length, fault)
 
     def run(
         self,

@@ -143,6 +143,7 @@ class SequentialDelayATPG:
         faults: Optional[Sequence[GateDelayFault]] = None,
         max_target_faults: Optional[int] = None,
         time_limit_s: Optional[float] = None,
+        prefix: Optional["PrefixConfig"] = None,
     ) -> CampaignResult:
         """Run a full ATPG campaign.
 
@@ -154,12 +155,31 @@ class SequentialDelayATPG:
                 not count); remaining untargeted faults are reported in the
                 aborted column.
             time_limit_s: wall-clock budget for the campaign.
+            prefix: when given, run the hybrid campaign: a random-pattern
+                prefix phase (:class:`~repro.core.prefilter.PrefixConfig` /
+                :class:`~repro.core.prefilter.RandomPrefixEngine`) first strips
+                the cheaply detectable faults from the universe, then the
+                deterministic flow targets only the residue.  ``max_target_faults``
+                counts residue targets only.
         """
+        from repro.core.prefilter import RandomPrefixEngine, apply_prefix_outcome
+
         fault_universe = list(faults) if faults is not None else enumerate_delay_faults(self.circuit)
         fault_list = FaultList(fault_universe)
         campaign = CampaignResult(circuit_name=self.circuit.name, total_faults=len(fault_list))
         start = time.perf_counter()
         deadline = start + time_limit_s if time_limit_s is not None else None
+
+        if prefix is not None:
+            engine = RandomPrefixEngine(
+                self.circuit,
+                prefix,
+                robust=self.robust,
+                fill_value=self.fill_value,
+                backend=self.backend,
+            )
+            outcome = engine.run(fault_universe, deadline=deadline)
+            apply_prefix_outcome(campaign, fault_list, outcome)
 
         for fault in fault_universe:
             if fault_list.status(fault) is not FaultStatus.UNTARGETED:
@@ -559,37 +579,60 @@ class SequentialDelayATPG:
 
     def _simulate_sequence(self, sequence: TestSequence) -> List[GateDelayFault]:
         """FAUSIM + TDsim: every additional fault the sequence detects."""
-        # Good-machine state after the fast frame, for the propagation-phase
-        # observability analysis.
-        state = simulate_state_after_fast(
-            self.context, sequence.pi_pair_values, sequence.ppi_initial_values
+        return simulate_sequence_detections(
+            self.circuit, self.context, self.fault_simulator, sequence, self.backend
         )
-        observability = {}
-        if sequence.propagation_vectors:
-            fausim = PropagationFaultSimulator(
-                self.circuit, sequence.propagation_vectors, backend=self.backend
-            )
-            observability = fausim.observability_map(state, self.circuit.pseudo_primary_inputs)
-        observable_ppos = [
-            self.circuit.ppo_of_ppi(ppi)
-            for ppi, result in observability.items()
-            if result.observable
-        ]
-        required_ppo_values = {
-            ppo: value
-            for ppo, value in (
-                (self.circuit.ppo_of_ppi(ppi), state.get(ppi))
-                for ppi in self.circuit.pseudo_primary_inputs
-            )
-            if value is not None
-        }
-        detections = self.fault_simulator.simulate(
-            sequence.pi_pair_values,
-            sequence.ppi_initial_values,
-            observable_ppos=observable_ppos,
-            required_ppo_values=required_ppo_values,
+
+
+def simulate_sequence_detections(
+    circuit: Circuit,
+    context: TDgenContext,
+    fault_simulator: DelayFaultSimulator,
+    sequence: TestSequence,
+    backend: Optional[str] = None,
+) -> List[GateDelayFault]:
+    """FAUSIM + TDsim detection pass for one fully specified test sequence.
+
+    The exact eight-valued crediting rule of the deterministic flow: the
+    good-machine state after the fast frame feeds the propagation-phase
+    observability analysis (FAUSIM), and the delay fault simulator (TDsim,
+    critical path tracing) returns every fault the sequence robustly detects
+    at a primary output or through an observable pseudo primary output.  The
+    sequence must carry its algebra-level view (``pi_pair_values`` and
+    ``ppi_initial_values``).  Shared by the flow's per-fault fault simulation
+    and the hybrid campaign's random-pattern prefix
+    (:mod:`repro.core.prefilter`), so both phases credit detections under the
+    same rule.
+    """
+    state = simulate_state_after_fast(
+        context, sequence.pi_pair_values, sequence.ppi_initial_values
+    )
+    observability = {}
+    if sequence.propagation_vectors:
+        fausim = PropagationFaultSimulator(
+            circuit, sequence.propagation_vectors, backend=backend
         )
-        return [detection.fault for detection in detections]
+        observability = fausim.observability_map(state, circuit.pseudo_primary_inputs)
+    observable_ppos = [
+        circuit.ppo_of_ppi(ppi)
+        for ppi, result in observability.items()
+        if result.observable
+    ]
+    required_ppo_values = {
+        ppo: value
+        for ppo, value in (
+            (circuit.ppo_of_ppi(ppi), state.get(ppi))
+            for ppi in circuit.pseudo_primary_inputs
+        )
+        if value is not None
+    }
+    detections = fault_simulator.simulate(
+        sequence.pi_pair_values,
+        sequence.ppi_initial_values,
+        observable_ppos=observable_ppos,
+        required_ppo_values=required_ppo_values,
+    )
+    return [detection.fault for detection in detections]
 
 
 def credit_fault_result(result: FaultResult, fault_list: FaultList) -> int:

@@ -1,0 +1,372 @@
+"""Random-pattern prefix of the hybrid campaign (Phase A).
+
+The deterministic TDgen/SEMILET search is the expensive half of every
+campaign, yet a large share of the fault universe is detectable by the first
+few random sequences.  This module implements the classic two-phase ATPG
+split on top of the repo's fault-parallel machinery:
+
+1. **Generate** seeded random test sequences through the shared generator
+   (:mod:`repro.core.randseq` — the same draw order as the random baseline).
+   Every sequence's seed is derived from the campaign seed and the sequence
+   index alone (:func:`derive_prefix_seed`), so a resumed prefix regenerates
+   sequence ``k`` without replaying the RNG history of sequences ``0..k-1``.
+2. **Grade** each sequence against the entire *remaining* fault universe
+   word-parallel (:func:`repro.core.verify.grade_test_sequence`: the good
+   machine in slot 0, one gross-delay faulty machine per remaining word
+   slot).  The gross-delay grade is the cheap necessary condition — a
+   superset of what the eight-valued rule credits.
+3. **Confirm** the candidates through the exact eight-valued TDsim/CPT pass
+   (:func:`repro.core.flow.simulate_sequence_detections`), so a fault is
+   credited to a random sequence under precisely the same robust-detection
+   rule the deterministic flow applies to its own sequences.  Only confirmed
+   faults are dropped from the universe.
+4. **Stop adaptively**: when a full sliding window of recent sequences
+   credits fewer than the threshold of new detections, when the sequence
+   budget (or the campaign deadline) is exhausted, or when nothing remains —
+   and hand the residue to Phase B, the deterministic flow.
+
+Everything here is a pure function of (circuit, universe, config): Phase A
+runs single-threaded before any sharding, which is what lets the orchestrator
+keep the hybrid campaign bit-identical across worker counts, partition modes
+and interrupt/resume cycles.  :class:`RandomPrefixEngine` accepts the usual
+``backend`` parameter for its grading/confirmation simulators (``reference``,
+``packed``, ``bigint``, ``numpy``); all backends are bit-identical by
+contract, so the choice is purely a wall-clock knob — ``bigint`` grades the
+whole universe fastest (see ``BENCH_kernels.json``).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import random
+import time
+import zlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.values import pi_value
+from repro.circuit.netlist import Circuit
+from repro.core.flow import simulate_sequence_detections
+from repro.core.randseq import random_test_sequence
+from repro.core.results import CampaignResult, TestSequence
+from repro.core.verify import grade_test_sequence
+from repro.faults.model import FaultList, GateDelayFault
+from repro.fausim.backends import create_simulator, resolve_backend
+from repro.tdgen.context import TDgenContext
+from repro.tdsim.cpt import DelayFaultSimulator
+
+#: Stop reasons reported by :meth:`RandomPrefixEngine.run`.
+STOP_WINDOW = "window"
+STOP_BUDGET = "budget"
+STOP_EXHAUSTED = "exhausted"
+STOP_DEADLINE = "deadline"
+
+
+def derive_prefix_seed(campaign_seed: int, sequence_index: int) -> int:
+    """Deterministic seed of prefix sequence ``sequence_index``.
+
+    Mirrors :func:`repro.orchestrate.partition.derive_shard_seed`: a
+    :func:`zlib.crc32` over an explicit token (never :func:`hash`, which is
+    randomised per process) mixed with the campaign seed, so the prefix is
+    reproducible run-to-run, across machines, and — because each sequence's
+    seed depends only on its index — resumable mid-prefix without replaying
+    the generator history.
+    """
+    token = f"repro-prefix:{campaign_seed}:{sequence_index}".encode("utf-8")
+    return (zlib.crc32(token) ^ ((campaign_seed * 0x9E3779B1) & 0xFFFFFFFF)) & 0x7FFFFFFF
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefixConfig:
+    """Settings of the random-pattern prefix phase.
+
+    Args:
+        budget: hard cap on the number of random sequences applied.
+        window: size of the sliding window of the adaptive stopping rule.
+        min_window_detections: keep generating while the last ``window``
+            sequences credited at least this many new faults; a full window
+            below the threshold hands the residue to Phase B.
+        sequence_length: frames per random sequence (initialisation frames +
+            the two-pattern test + propagation frames).
+        seed: the campaign seed; every sequence derives its own RNG seed from
+            it via :func:`derive_prefix_seed`.
+    """
+
+    budget: int = 256
+    window: int = 16
+    min_window_detections: int = 1
+    sequence_length: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError("prefix budget must be >= 1")
+        if self.window < 1:
+            raise ValueError("prefix window must be >= 1")
+        if self.sequence_length < 2:
+            raise ValueError("a delay test needs at least two frames")
+
+
+@dataclasses.dataclass
+class PrefixRecord:
+    """Outcome of one applied prefix sequence (one journal record).
+
+    ``detections`` holds the faults *credited* to this sequence — gross-grade
+    candidates confirmed by the TDsim pass, in universe enumeration order.
+    ``sequence`` is kept (and journaled) only when it credited at least one
+    fault; sequences that detect nothing are recorded as bare counters so a
+    resumed prefix can rebuild the stopping-rule window exactly.
+    """
+
+    seq: int
+    candidates: int
+    detections: List[GateDelayFault]
+    sequence: Optional[TestSequence] = None
+
+    def to_journal(self) -> Dict[str, object]:
+        """The JSONL journal form of this record (``type: "prefix"``)."""
+        return {
+            "type": "prefix",
+            "seq": self.seq,
+            "candidates": self.candidates,
+            "detections": [fault.to_json() for fault in self.detections],
+            "sequence": self.sequence.to_json() if self.sequence is not None else None,
+        }
+
+    @classmethod
+    def from_journal(cls, payload: Dict[str, object]) -> "PrefixRecord":
+        """Rebuild a record from its :meth:`to_journal` form."""
+        sequence = payload.get("sequence")
+        return cls(
+            seq=int(payload["seq"]),
+            candidates=int(payload.get("candidates", 0)),
+            detections=[
+                GateDelayFault.from_json(fault) for fault in payload["detections"]
+            ],
+            sequence=TestSequence.from_json(sequence) if sequence is not None else None,
+        )
+
+
+@dataclasses.dataclass
+class PrefixOutcome:
+    """Everything Phase A hands to Phase B and to the campaign bookkeeping."""
+
+    records: List[PrefixRecord]
+    detected: List[GateDelayFault]
+    stop_reason: str
+
+    @property
+    def applied(self) -> int:
+        """Number of random sequences generated and graded."""
+        return len(self.records)
+
+    @property
+    def kept_sequences(self) -> List[TestSequence]:
+        """The sequences that credited at least one fault, in order."""
+        return [
+            record.sequence for record in self.records if record.sequence is not None
+        ]
+
+
+class RandomPrefixEngine:
+    """Phase A of the hybrid campaign: grade random sequences, strip faults.
+
+    Args:
+        circuit: circuit under test.
+        config: prefix settings (:class:`PrefixConfig`).
+        robust: the campaign's fault model — threads into the confirming
+            TDsim pass so prefix crediting follows the same rule as the
+            deterministic sequences.
+        fill_value: deterministic fill for state bits the initialisation
+            frames leave unknown, mirroring the flow's sequence assembly.
+        backend: simulation backend (see :mod:`repro.fausim.backends`) used
+            for the word-parallel grading, the initialisation-state replay
+            and the TDsim confirmation.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: PrefixConfig,
+        robust: bool = True,
+        fill_value: int = 0,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.config = config
+        self.robust = robust
+        self.fill_value = fill_value
+        self.backend = resolve_backend(backend)
+        self.context = TDgenContext(circuit)
+        self.fault_simulator = DelayFaultSimulator(
+            circuit, robust=robust, context=self.context, backend=self.backend
+        )
+        self._logic_simulator = create_simulator(circuit, self.backend)
+
+    # ------------------------------------------------------------------ #
+    # sequence construction
+    # ------------------------------------------------------------------ #
+    def generate_sequence(
+        self, sequence_index: int, template_fault: GateDelayFault
+    ) -> TestSequence:
+        """Draw prefix sequence ``sequence_index`` and attach its algebra view.
+
+        The sequence is a pure function of (circuit, config, index): its RNG
+        is seeded by :func:`derive_prefix_seed` alone, so any resume or
+        re-run regenerates the identical sequence.
+        """
+        rng = random.Random(derive_prefix_seed(self.config.seed, sequence_index))
+        sequence = random_test_sequence(
+            rng, self.circuit, self.config.sequence_length, template_fault
+        )
+        self._attach_pair_view(sequence)
+        return sequence
+
+    def _attach_pair_view(self, sequence: TestSequence) -> None:
+        """Fill ``pi_pair_values`` / ``ppi_initial_values`` for the TDsim pass.
+
+        The initial state at ``v1`` is whatever the initialisation frames
+        provably establish from the all-unknown power-up state; remaining
+        don't-care bits take the campaign's fill value — exactly the
+        assumption :meth:`~repro.core.flow.SequentialDelayATPG._assemble_sequence`
+        makes for deterministic sequences.
+        """
+        state: Dict[str, Optional[int]] = {}
+        for vector in sequence.initialization_vectors:
+            state = self._logic_simulator.clock(vector, state).next_state
+        sequence.ppi_initial_values = {
+            ppi: state[ppi] if state.get(ppi) is not None else self.fill_value
+            for ppi in self.circuit.pseudo_primary_inputs
+        }
+        sequence.pi_pair_values = {
+            pi: pi_value(sequence.v1[pi], sequence.v2[pi])
+            for pi in self.circuit.primary_inputs
+        }
+
+    # ------------------------------------------------------------------ #
+    # grading + confirmation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, sequence: TestSequence, remaining: Sequence[GateDelayFault]
+    ) -> Tuple[List[GateDelayFault], int]:
+        """Credit one sequence: word-parallel grade, then TDsim confirmation.
+
+        Returns ``(credited, candidates)``: the faults of ``remaining`` the
+        sequence detects under the eight-valued rule (in input order) and the
+        number of gross-delay candidates the cheap grade produced.  The
+        expensive TDsim pass runs only when the grade found candidates.
+        """
+        grades = grade_test_sequence(
+            self.circuit, sequence, remaining, backend=self.backend
+        )
+        candidates = [grade.fault for grade in grades if grade.detected]
+        if not candidates:
+            return [], 0
+        confirmed = set(
+            simulate_sequence_detections(
+                self.circuit, self.context, self.fault_simulator, sequence, self.backend
+            )
+        )
+        credited = [fault for fault in candidates if fault in confirmed]
+        return credited, len(candidates)
+
+    # ------------------------------------------------------------------ #
+    # the phase-A loop
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        faults: Sequence[GateDelayFault],
+        deadline: Optional[float] = None,
+        replay: Sequence[PrefixRecord] = (),
+        on_record: Optional[Callable[[PrefixRecord], None]] = None,
+    ) -> PrefixOutcome:
+        """Run (or resume) the prefix phase over ``faults``.
+
+        Args:
+            faults: the campaign fault universe in enumeration order.
+            deadline: optional :func:`time.perf_counter` timestamp; reaching
+                it stops the phase with reason ``"deadline"`` (serial
+                time-limited campaigns only — a deadline stop is wall-clock
+                dependent and therefore not bit-reproducible).
+            replay: journaled records of an interrupted prefix, in sequence
+                order; their detections are applied without re-grading and
+                the stopping-rule window is rebuilt from their counters, so
+                generation continues exactly where the interrupted run left
+                off.
+            on_record: called with every *newly applied* sequence's record
+                (replayed records are not re-emitted); the orchestrator
+                journals and streams them from here.
+        """
+        remaining: List[GateDelayFault] = list(faults)
+        remaining_set = set(remaining)
+        records: List[PrefixRecord] = []
+        detected: List[GateDelayFault] = []
+        window: collections.deque = collections.deque(maxlen=self.config.window)
+        next_seq = 0
+
+        for record in replay:
+            if record.seq != next_seq:
+                raise ValueError(
+                    f"prefix records out of order: expected seq {next_seq}, "
+                    f"got {record.seq}"
+                )
+            next_seq += 1
+            window.append(len(record.detections))
+            records.append(record)
+            if record.detections:
+                detected.extend(record.detections)
+                dropped = set(record.detections)
+                remaining_set -= dropped
+                remaining = [fault for fault in remaining if fault not in dropped]
+
+        while True:
+            if not remaining:
+                return PrefixOutcome(records, detected, STOP_EXHAUSTED)
+            if next_seq >= self.config.budget:
+                return PrefixOutcome(records, detected, STOP_BUDGET)
+            if (
+                len(window) == self.config.window
+                and sum(window) < self.config.min_window_detections
+            ):
+                return PrefixOutcome(records, detected, STOP_WINDOW)
+            if deadline is not None and time.perf_counter() > deadline:
+                return PrefixOutcome(records, detected, STOP_DEADLINE)
+
+            sequence = self.generate_sequence(next_seq, remaining[0])
+            credited, candidates = self.evaluate(sequence, remaining)
+            record = PrefixRecord(
+                seq=next_seq,
+                candidates=candidates,
+                detections=credited,
+                sequence=sequence if credited else None,
+            )
+            next_seq += 1
+            window.append(len(credited))
+            records.append(record)
+            if credited:
+                detected.extend(credited)
+                dropped = set(credited)
+                remaining_set -= dropped
+                remaining = [fault for fault in remaining if fault not in dropped]
+            if on_record is not None:
+                on_record(record)
+
+
+def apply_prefix_outcome(
+    campaign: CampaignResult, fault_list: FaultList, outcome: PrefixOutcome
+) -> None:
+    """Fold a finished prefix phase into the campaign bookkeeping.
+
+    Marks every credited fault tested, seeds the campaign's prefix counters
+    and counts the kept sequences' patterns — the one crediting path shared
+    by the serial hybrid flow (:meth:`~repro.core.flow.SequentialDelayATPG.run`)
+    and the orchestrator's replay merge, which is what keeps hybrid results
+    bit-identical across worker counts and resumes.
+    """
+    fault_list.mark_tested(outcome.detected)
+    campaign.prefix_applied = outcome.applied
+    campaign.prefix_detected = len(outcome.detected)
+    campaign.prefix_stop_reason = outcome.stop_reason
+    for sequence in outcome.kept_sequences:
+        campaign.prefix_sequences.append(sequence)
+        campaign.pattern_count += sequence.pattern_count

@@ -1,0 +1,61 @@
+"""Seeded random test-sequence generation, shared by baseline and prefix.
+
+Both consumers of random two-pattern sequences — the standalone random
+baseline (:mod:`repro.baselines.random_atpg`) and the hybrid campaign's
+random-pattern prefix (:mod:`repro.core.prefilter`) — draw their vectors
+from this one module, so the draw order (all frame vectors first, then the
+fast-frame position) is defined in exactly one place and a given
+``random.Random`` state always yields the same sequence in either flow.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.core.clocking import ClockSchedule
+from repro.core.results import TestSequence
+from repro.faults.model import GateDelayFault
+
+
+def random_vector(rng: random.Random, primary_inputs: Sequence[str]) -> Dict[str, int]:
+    """One fully specified random input vector (one coin flip per PI)."""
+    return {pi: rng.randint(0, 1) for pi in primary_inputs}
+
+
+def random_test_sequence(
+    rng: random.Random,
+    circuit: Circuit,
+    sequence_length: int,
+    fault: GateDelayFault,
+) -> TestSequence:
+    """Draw one random delay-test sequence of ``sequence_length`` frames.
+
+    The draw order is fixed: first one random vector per frame, then the
+    fast-frame position (uniform over frames 1..length-1).  The frame right
+    before the fast one becomes ``v1``, the fast frame ``v2``; everything
+    earlier initialises, everything later propagates.  ``fault`` only labels
+    the returned :class:`~repro.core.results.TestSequence` — grading treats
+    every fault of the universe identically.
+    """
+    if sequence_length < 2:
+        raise ValueError("a delay test needs at least two frames")
+    vectors: List[Dict[str, int]] = [
+        random_vector(rng, circuit.primary_inputs) for _ in range(sequence_length)
+    ]
+    fast_index = rng.randint(1, sequence_length - 1)
+    schedule = ClockSchedule.for_sequence(
+        initialization_frames=fast_index - 1,
+        propagation_frames=sequence_length - fast_index - 1,
+    )
+    return TestSequence(
+        fault=fault,
+        initialization_vectors=vectors[: fast_index - 1],
+        v1=vectors[fast_index - 1],
+        v2=vectors[fast_index],
+        propagation_vectors=vectors[fast_index + 1 :],
+        clock_schedule=schedule,
+        observation_point="",
+        observed_at_po=True,
+    )

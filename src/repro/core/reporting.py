@@ -109,3 +109,20 @@ def format_untestable_breakdown(results: Sequence[CampaignResult]) -> str:
             f"{breakdown['sequentially_untestable']:>16} {result.aborted:>9}"
         )
     return "\n".join(lines)
+
+
+def format_prefix_summary(results: Sequence[CampaignResult]) -> str:
+    """Per-circuit summary of the random-pattern prefix of a hybrid campaign.
+
+    Shows how many random sequences Phase A applied, how many faults they
+    stripped from the deterministic residue, and why the adaptive stopping
+    rule handed over to Phase B (see :mod:`repro.core.prefilter`).
+    """
+    lines = ["circuit      prefix.seqs   prefix.detected   stop"]
+    for result in results:
+        reason = result.prefix_stop_reason or "-"
+        lines.append(
+            f"{result.circuit_name:<12} {result.prefix_applied:>11} "
+            f"{result.prefix_detected:>17}   {reason}"
+        )
+    return "\n".join(lines)

@@ -180,6 +180,12 @@ class CampaignResult:
     aborted_sequential: int = 0
     targeted: int = 0
     detected_by_simulation: int = 0
+    #: Random-pattern prefix statistics of a hybrid campaign (see
+    #: :mod:`repro.core.prefilter`); all zero for a deterministic-only run.
+    prefix_applied: int = 0
+    prefix_detected: int = 0
+    prefix_stop_reason: Optional[str] = None
+    prefix_sequences: List[TestSequence] = dataclasses.field(default_factory=list)
 
     @property
     def fault_coverage(self) -> float:
@@ -260,6 +266,10 @@ class CampaignResult:
             "aborted_sequential": self.aborted_sequential,
             "targeted": self.targeted,
             "detected_by_simulation": self.detected_by_simulation,
+            "prefix_applied": self.prefix_applied,
+            "prefix_detected": self.prefix_detected,
+            "prefix_stop_reason": self.prefix_stop_reason,
+            "prefix_sequences": [seq.to_json() for seq in self.prefix_sequences],
         }
 
     @classmethod
@@ -281,6 +291,15 @@ class CampaignResult:
             aborted_sequential=int(payload["aborted_sequential"]),
             targeted=int(payload["targeted"]),
             detected_by_simulation=int(payload["detected_by_simulation"]),
+            # Prefix fields default to the deterministic-only values so
+            # results stored before the hybrid flow existed still load.
+            prefix_applied=int(payload.get("prefix_applied", 0)),
+            prefix_detected=int(payload.get("prefix_detected", 0)),
+            prefix_stop_reason=payload.get("prefix_stop_reason"),
+            prefix_sequences=[
+                TestSequence.from_json(seq)
+                for seq in payload.get("prefix_sequences", [])
+            ],
         )
         campaign.sequences = [
             result.sequence for result in fault_results if result.sequence is not None
@@ -318,6 +337,11 @@ class CampaignResult:
             merged.aborted_sequential += part.aborted_sequential
             merged.targeted += part.targeted
             merged.detected_by_simulation += part.detected_by_simulation
+            merged.prefix_applied += part.prefix_applied
+            merged.prefix_detected += part.prefix_detected
+            if merged.prefix_stop_reason is None:
+                merged.prefix_stop_reason = part.prefix_stop_reason
+            merged.prefix_sequences.extend(part.prefix_sequences)
         return merged
 
     def finalize(self, fault_status_counts: Dict[str, int], cpu_seconds: float) -> None:

@@ -101,6 +101,13 @@ class OrchestratorConfig:
     verify_sequences: bool = True
     enable_fault_simulation: bool = True
     backend: Optional[str] = None
+    #: Hybrid campaign: run the random-pattern prefix (Phase A, see
+    #: :mod:`repro.core.prefilter`) before partitioning, so the shards are
+    #: cut from the residue the random sequences could not detect.
+    rpg_prefix: bool = False
+    rpg_budget: int = 256
+    rpg_window: int = 16
+    rpg_length: int = 8
 
     def atpg_kwargs(self) -> Dict[str, object]:
         """Keyword arguments for building a worker's ``SequentialDelayATPG``."""
@@ -126,7 +133,7 @@ class OrchestratorConfig:
         ``tests/core``), so a campaign journaled under one backend may be
         resumed under another without invalidating the finished faults.
         """
-        return {
+        payload: Dict[str, object] = {
             "robust": self.robust,
             "local_backtrack_limit": self.local_backtrack_limit,
             "sequential_backtrack_limit": self.sequential_backtrack_limit,
@@ -136,6 +143,34 @@ class OrchestratorConfig:
             "enable_fault_simulation": self.enable_fault_simulation,
             "campaign_seed": self.campaign_seed,
         }
+        if self.rpg_prefix:
+            # The prefix settings change which faults Phase B ever targets, so
+            # they are part of a hybrid campaign's identity.  Deterministic-only
+            # campaigns keep their pre-hybrid digests (no new keys).
+            payload["rpg_prefix"] = True
+            payload["rpg_budget"] = self.rpg_budget
+            payload["rpg_window"] = self.rpg_window
+            payload["rpg_length"] = self.rpg_length
+        return payload
+
+    def prefix_config(self):
+        """The prefix phase settings, or ``None`` for a deterministic-only run.
+
+        The prefix seed is the campaign seed itself — each sequence then
+        derives its own RNG seed via
+        :func:`~repro.core.prefilter.derive_prefix_seed`, mirroring how the
+        shard seeds are derived from the same campaign seed.
+        """
+        if not self.rpg_prefix:
+            return None
+        from repro.core.prefilter import PrefixConfig
+
+        return PrefixConfig(
+            budget=self.rpg_budget,
+            window=self.rpg_window,
+            sequence_length=self.rpg_length,
+            seed=self.campaign_seed,
+        )
 
 
 def _mp_context():
@@ -234,6 +269,8 @@ class CampaignOrchestrator:
         )
 
         records: Dict[int, Dict[str, object]] = {}
+        prefix_records: Dict[int, Dict[str, object]] = {}
+        prefix_done: Optional[Dict[str, object]] = None
         if self.resume:
             segment = self._load_resume_segment(digest)
             if segment is not None:
@@ -244,6 +281,8 @@ class CampaignOrchestrator:
                     # over the recorded per-fault results instead.
                     return CampaignResult.from_json(final["campaign"])
                 records.update(segment.fault_records)
+                prefix_records.update(segment.prefix_records)
+                prefix_done = segment.prefix_done
         elif self.journal_path is not None and os.path.exists(self.journal_path):
             # A fresh run must not append an incompatible header to an
             # existing journal: the digest clash would make *every* later
@@ -270,12 +309,29 @@ class CampaignOrchestrator:
                     "partition": self.config.partition,
                     "campaign_seed": self.config.campaign_seed,
                     "resumed_records": len(records),
+                    "resumed_prefix": len(prefix_records),
                 },
             )
-            remaining = [index for index in range(len(universe)) if index not in records]
+            # Phase A of a hybrid campaign runs once, single-threaded, before
+            # any partitioning: the shards are then cut from the residue the
+            # random prefix could not detect, and the serial/parallel results
+            # stay bit-identical because Phase A never depends on jobs.
+            prefix_outcome = self._run_prefix(
+                universe, prefix_records, prefix_done, journal
+            )
+            prefix_detected = (
+                set(prefix_outcome.detected) if prefix_outcome is not None else set()
+            )
+            remaining = [
+                index
+                for index in range(len(universe))
+                if index not in records and universe[index] not in prefix_detected
+            ]
             if remaining:
                 self._run_workers(universe, remaining, records, journal, max_target_faults)
-            campaign = self._replay(universe, records, max_target_faults, journal, started)
+            campaign = self._replay(
+                universe, records, max_target_faults, journal, started, prefix_outcome
+            )
             self._emit(
                 journal,
                 {
@@ -290,6 +346,68 @@ class CampaignOrchestrator:
         finally:
             if journal is not None:
                 journal.close()
+
+    # ------------------------------------------------------------------ #
+    # random-pattern prefix (Phase A of a hybrid campaign)
+    # ------------------------------------------------------------------ #
+    def _run_prefix(
+        self,
+        universe: List[GateDelayFault],
+        prefix_records: Dict[int, Dict[str, object]],
+        prefix_done: Optional[Dict[str, object]],
+        journal: Optional[CampaignJournal],
+    ):
+        """Run, resume or reload Phase A; returns its outcome (or ``None``).
+
+        Already-journaled prefix records are replayed without re-grading; a
+        ``prefix-done`` record short-circuits the phase entirely.  Newly
+        applied sequences are journaled one record at a time, so a campaign
+        interrupted mid-prefix resumes at the exact sequence index it stopped
+        at (every sequence's RNG seed depends only on its index).
+        """
+        prefix_cfg = self.config.prefix_config()
+        if prefix_cfg is None:
+            return None
+        from repro.core.prefilter import PrefixOutcome, PrefixRecord, RandomPrefixEngine
+
+        replay = [
+            PrefixRecord.from_journal(prefix_records[seq])
+            for seq in sorted(prefix_records)
+        ]
+        if prefix_done is not None:
+            # Phase A already finished in an earlier run: rebuild its outcome
+            # from the journal alone.
+            detected = [fault for record in replay for fault in record.detections]
+            return PrefixOutcome(
+                records=replay,
+                detected=detected,
+                stop_reason=str(prefix_done["reason"]),
+            )
+
+        engine = RandomPrefixEngine(
+            self.circuit,
+            prefix_cfg,
+            robust=self.config.robust,
+            fill_value=self.config.fill_value,
+            backend=self.config.backend,
+        )
+
+        def on_record(record: PrefixRecord) -> None:
+            self._emit(journal, record.to_journal())
+            if self._stop_requested():
+                raise CampaignInterrupted(self.circuit.name, record.seq + 1)
+
+        outcome = engine.run(universe, replay=replay, on_record=on_record)
+        self._emit(
+            journal,
+            {
+                "type": "prefix-done",
+                "reason": outcome.stop_reason,
+                "applied": outcome.applied,
+                "detected": len(outcome.detected),
+            },
+        )
+        return outcome
 
     # ------------------------------------------------------------------ #
     # worker fan-out
@@ -448,6 +566,7 @@ class CampaignOrchestrator:
         max_target_faults: Optional[int],
         journal: Optional[CampaignJournal],
         started: float,
+        prefix_outcome=None,
     ) -> CampaignResult:
         """Replay the serial campaign loop over the recorded per-fault results.
 
@@ -462,6 +581,13 @@ class CampaignOrchestrator:
         campaign = CampaignResult(
             circuit_name=self.circuit.name, total_faults=len(universe)
         )
+        if prefix_outcome is not None:
+            # The same crediting path the serial hybrid flow uses: prefix
+            # detections are marked tested before the loop, so Phase B's
+            # enumeration skips them exactly as ``run(prefix=...)`` would.
+            from repro.core.prefilter import apply_prefix_outcome
+
+            apply_prefix_outcome(campaign, fault_list, prefix_outcome)
         self.recomputed = 0
         for index, fault in enumerate(universe):
             if fault_list.status(fault) is not FaultStatus.UNTARGETED:

@@ -19,6 +19,19 @@ The coordinator appends one JSON record per line while a campaign runs:
     earlier fault ``j`` already covered it.  Informational: the replay
     re-derives drops from the recorded detections.
 
+``{"type": "prefix", "seq": k, "candidates": c, "detections": ..., "sequence": ...}``
+    One applied random-prefix sequence of a hybrid campaign
+    (:mod:`repro.core.prefilter`): the faults it was credited with under the
+    TDsim rule, plus the sequence itself when it detected anything.  A
+    campaign killed mid-prefix resumes from these records — the stopping-rule
+    window is rebuilt from their detection counts and generation continues at
+    the next sequence index.
+
+``{"type": "prefix-done", "reason": ..., "applied": n, "detected": d}``
+    The prefix phase finished (stop reason: ``window``/``budget``/
+    ``exhausted``).  A resume that finds this record skips Phase A entirely
+    and goes straight to the deterministic residue.
+
 ``{"type": "result", "campaign": ...}``
     The final merged campaign.  A resume that finds this record returns it
     directly instead of re-running anything.
@@ -73,6 +86,10 @@ class JournalSegment:
     fault_records: Dict[int, Dict[str, object]] = dataclasses.field(default_factory=dict)
     drops: List[Dict[str, object]] = dataclasses.field(default_factory=list)
     final: Optional[Dict[str, object]] = None
+    #: Random-prefix records of a hybrid campaign, keyed by sequence index.
+    prefix_records: Dict[int, Dict[str, object]] = dataclasses.field(default_factory=dict)
+    #: The ``prefix-done`` record once Phase A finished, else ``None``.
+    prefix_done: Optional[Dict[str, object]] = None
 
     @property
     def completed_indices(self) -> List[int]:
@@ -176,13 +193,17 @@ def load_segments(path: str) -> Dict[str, JournalSegment]:
                         f"different campaign (digest {existing.digest} != {digest})"
                     )
                 current = existing
-        elif kind in ("fault", "drop", "result"):
+        elif kind in ("fault", "drop", "result", "prefix", "prefix-done"):
             if current is None:
                 raise ValueError(f"journal {path!r} has a {kind!r} record before any header")
             if kind == "fault":
                 current.fault_records[int(record["index"])] = record
             elif kind == "drop":
                 current.drops.append(record)
+            elif kind == "prefix":
+                current.prefix_records[int(record["seq"])] = record
+            elif kind == "prefix-done":
+                current.prefix_done = record
             else:
                 current.final = record
         # Unknown record types are ignored so the format can grow.

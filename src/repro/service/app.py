@@ -226,8 +226,17 @@ class AtpgService:
             sequential_backtrack_limit=spec.backtrack_limit,
             backend=spec.backend,
         )
+        prefix = None
+        if spec.rpg_prefix:
+            from repro.core.prefilter import PrefixConfig
+
+            prefix = PrefixConfig(
+                budget=spec.rpg_budget, window=spec.rpg_window, seed=spec.seed
+            )
         return atpg.run(
-            max_target_faults=spec.max_target_faults, time_limit_s=spec.time_limit_s
+            max_target_faults=spec.max_target_faults,
+            time_limit_s=spec.time_limit_s,
+            prefix=prefix,
         )
 
     async def _in_executor(self, fn, *args):

@@ -62,11 +62,14 @@ class JobSpec:
     backtrack_limit: int = 100
     max_target_faults: Optional[int] = None
     time_limit_s: Optional[float] = None
+    rpg_prefix: bool = False
+    rpg_budget: int = 256
+    rpg_window: int = 16
 
     _FIELDS = (
         "circuit", "bench", "name", "scale", "priority", "jobs", "partition",
         "seed", "backend", "robust", "backtrack_limit", "max_target_faults",
-        "time_limit_s",
+        "time_limit_s", "rpg_prefix", "rpg_budget", "rpg_window",
     )
 
     @classmethod
@@ -93,16 +96,20 @@ class JobSpec:
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     raise ValueError(f"{field!r} must be a number")
                 setattr(spec, field, float(value))
-        for field in ("priority", "jobs", "seed", "backtrack_limit", "max_target_faults"):
+        for field in (
+            "priority", "jobs", "seed", "backtrack_limit", "max_target_faults",
+            "rpg_budget", "rpg_window",
+        ):
             value = payload.get(field)
             if value is not None:
                 if isinstance(value, bool) or not isinstance(value, int):
                     raise ValueError(f"{field!r} must be an integer")
                 setattr(spec, field, value)
-        if "robust" in payload:
-            if not isinstance(payload["robust"], bool):
-                raise ValueError("'robust' must be a boolean")
-            spec.robust = payload["robust"]
+        for field in ("robust", "rpg_prefix"):
+            if field in payload:
+                if not isinstance(payload[field], bool):
+                    raise ValueError(f"{field!r} must be a boolean")
+                setattr(spec, field, payload[field])
         spec.validate()
         return spec
 
@@ -126,6 +133,10 @@ class JobSpec:
             raise ValueError("'backtrack_limit' must be >= 1")
         if self.max_target_faults is not None and self.max_target_faults < 1:
             raise ValueError("'max_target_faults' must be >= 1")
+        if self.rpg_budget < 1:
+            raise ValueError("'rpg_budget' must be >= 1")
+        if self.rpg_window < 1:
+            raise ValueError("'rpg_window' must be >= 1")
         if self.time_limit_s is not None:
             if self.time_limit_s <= 0:
                 raise ValueError("'time_limit_s' must be > 0")
@@ -159,6 +170,9 @@ class JobSpec:
             local_backtrack_limit=self.backtrack_limit,
             sequential_backtrack_limit=self.backtrack_limit,
             backend=self.backend,
+            rpg_prefix=self.rpg_prefix,
+            rpg_budget=self.rpg_budget,
+            rpg_window=self.rpg_window,
         )
 
     def to_json(self) -> Dict[str, object]:
@@ -191,6 +205,8 @@ class Job:
     error: Optional[str] = None
     total_faults: Optional[int] = None
     recorded: int = 0
+    #: Random-prefix sequences applied so far (hybrid campaigns only).
+    prefix_recorded: int = 0
     result_json: Optional[Dict[str, object]] = None
     #: Per-fault progress records of the *current process's* run (journal
     #: format); guarded by ``events_lock`` because the campaign thread
@@ -215,8 +231,11 @@ class Job:
             if record.get("type") == "campaign":
                 self.total_faults = record.get("total_faults")
                 self.recorded += int(record.get("resumed_records", 0))
+                self.prefix_recorded += int(record.get("resumed_prefix", 0))
             elif record.get("type") in ("fault", "drop"):
                 self.recorded += 1
+            elif record.get("type") == "prefix":
+                self.prefix_recorded += 1
 
     def events_since(self, offset: int) -> List[Dict[str, object]]:
         """Snapshot of the progress records from ``offset`` on."""
@@ -238,6 +257,7 @@ class Job:
             "error": self.error,
             "total_faults": self.total_faults,
             "recorded": self.recorded,
+            "prefix_recorded": self.prefix_recorded,
             "events": len(self.events),
         }
 

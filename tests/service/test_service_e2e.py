@@ -75,6 +75,45 @@ def test_inline_bench_submission(daemon, s27_direct):
     assert result_fingerprint(served) == result_fingerprint(s27_direct)
 
 
+def test_served_hybrid_campaign_matches_direct_run(daemon):
+    """A hybrid JobSpec round-trips: prefix events, counters and the result."""
+    _, client = daemon
+    spec = {
+        "circuit": "s344", "scale": 0.3, "jobs": 2, "seed": 0,
+        "rpg_prefix": True, "rpg_budget": 64, "rpg_window": 8,
+    }
+    job_id = client.submit(spec)
+    job = client.wait(job_id)
+    assert job["status"] == "done", job
+    assert job["prefix_recorded"] > 0
+
+    served = client.result(job_id)["campaign"]
+    assert served["prefix_applied"] == job["prefix_recorded"]
+    assert served["prefix_detected"] > 0
+    assert served["prefix_stop_reason"] in ("window", "budget", "exhausted")
+
+    direct = run_parallel_campaign(
+        load_circuit("s344", scale=0.3),
+        jobs=2, campaign_seed=0,
+        rpg_prefix=True, rpg_budget=64, rpg_window=8,
+    ).to_json()
+    assert result_fingerprint(served) == result_fingerprint(direct)
+
+    _, events = client.get(f"/jobs/{job_id}/events")
+    kinds = [record["type"] for record in events["events"]]
+    assert kinds.count("prefix") == job["prefix_recorded"]
+    assert "prefix-done" in kinds
+    assert kinds.index("prefix-done") < kinds.index("result")
+
+    # the hybrid result is cached under its own key: a plain resubmission
+    # of the same circuit/seed must NOT hit it
+    plain = client.submit({"circuit": "s344", "scale": 0.3, "jobs": 2, "seed": 0})
+    assert client.wait(plain)["cache_hit"] is False
+    # ... while an identical hybrid resubmission does
+    again = client.submit(spec)
+    assert client.wait(again)["cache_hit"] is True
+
+
 # --------------------------------------------------------------------- #
 # caches
 # --------------------------------------------------------------------- #

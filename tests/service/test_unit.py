@@ -59,6 +59,12 @@ def test_campaign_cache_key_sensitivity():
     assert key(base) != key(JobSpec(circuit="s27", robust=False))
     assert key(base) != key(JobSpec(circuit="s27", backtrack_limit=50))
     assert key(base) != key(JobSpec(circuit="s27", max_target_faults=5))
+    # a hybrid campaign is a different result; its knobs only count when on
+    assert key(base) != key(JobSpec(circuit="s27", rpg_prefix=True))
+    assert key(base) == key(JobSpec(circuit="s27", rpg_budget=99, rpg_window=3))
+    assert key(JobSpec(circuit="s27", rpg_prefix=True)) != key(
+        JobSpec(circuit="s27", rpg_prefix=True, rpg_budget=99)
+    )
 
 
 def test_lru_cache_eviction_and_counters():
@@ -104,6 +110,9 @@ def test_spec_from_request_roundtrip():
         ({"circuit": "s27", "max_target_faults": 0}, "must be >= 1"),
         ({"circuit": "s27", "time_limit_s": 0}, "must be > 0"),
         ({"circuit": "s27", "time_limit_s": 1.0, "jobs": 2}, "requires 'jobs' == 1"),
+        ({"circuit": "s27", "rpg_budget": 0}, "'rpg_budget' must be >= 1"),
+        ({"circuit": "s27", "rpg_window": 0}, "'rpg_window' must be >= 1"),
+        ({"circuit": "s27", "rpg_prefix": "yes"}, "must be a boolean"),
         ({"circuit": "s27", "frobnicate": 1}, "unknown field"),
     ],
 )
