@@ -19,6 +19,8 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import List, Optional
 
@@ -29,18 +31,61 @@ from repro.core.flow import SequentialDelayATPG
 from repro.core.reporting import (
     format_campaign_table,
     format_prefix_summary,
+    format_profile,
     format_shard_summary,
     format_untestable_breakdown,
 )
 from repro.data import circuit_spec, list_circuits, load_circuit
 from repro.fausim.backends import available_backends
+from repro.obs.export import metrics_document
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.orchestrate import CampaignOrchestrator, OrchestratorConfig
 from repro.orchestrate.partition import PARTITION_MODES
 
 
-def _add_campaign_parser(subparsers) -> None:
+def _logging_parser() -> argparse.ArgumentParser:
+    """The shared ``--verbose``/``--quiet`` flags, attached to every subcommand.
+
+    A single parent parser instance keeps the flags (and their help text)
+    identical across subcommands; it is attached to the subparsers only —
+    never to the root parser too, which would clobber the parsed values.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_mutually_exclusive_group()
+    group.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log progress at INFO/DEBUG level to stderr",
+    )
+    group.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors",
+    )
+    return parent
+
+
+def _configure_logging(args: argparse.Namespace, default_level: int = logging.WARNING) -> None:
+    """Wire ``logging.basicConfig`` from the ``--verbose``/``--quiet`` flags."""
+    if getattr(args, "quiet", False):
+        level = logging.ERROR
+    elif getattr(args, "verbose", False):
+        level = logging.DEBUG
+    else:
+        level = default_level
+    # force=True rebinds the handler to the *current* sys.stderr on every
+    # call: repeated in-process invocations (tests, embedding) keep working.
+    logging.basicConfig(
+        level=level,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+        force=True,
+    )
+
+
+def _add_campaign_parser(subparsers, parents) -> None:
     parser = subparsers.add_parser(
-        "campaign", help="run the ATPG campaign and print Table 3 style rows"
+        "campaign",
+        help="run the ATPG campaign and print Table 3 style rows",
+        parents=parents,
     )
     parser.add_argument(
         "--circuits",
@@ -140,6 +185,25 @@ def _add_campaign_parser(subparsers) -> None:
             "--journal PATH; already-recorded faults are not re-targeted)"
         ),
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the campaign metrics (counters, phase timers, per-fault "
+            "cost records) to this JSON file; enables instrumentation — the "
+            "campaign result stays bit-identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a cost-breakdown report next to the Table 3 summary: "
+            "wall time per flow phase, the most expensive faults with their "
+            "search-effort attribution, and the abort-reason histogram"
+        ),
+    )
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
@@ -152,11 +216,16 @@ def _run_campaign(args: argparse.Namespace) -> int:
         print("error: --time-limit is not supported with --jobs/--journal", file=sys.stderr)
         return 2
 
+    collect = args.profile or args.metrics_out is not None
     campaigns = []
     shard_reports = []
+    #: One ``(circuit, snapshot, cost records)`` triple per campaign when
+    #: instrumentation is on.
+    profiles = []
     names = [name.strip() for name in args.circuits.split(",") if name.strip()]
     max_faults = args.max_faults if args.max_faults > 0 else None
     for name in names:
+        registry = MetricsRegistry() if collect else None
         if name.endswith(".bench"):
             circuit = parse_bench_file(name)
         else:
@@ -179,8 +248,10 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 config=config,
                 journal_path=journal_path,
                 resume=args.resume is not None,
+                metrics=registry,
             )
             campaign = orchestrator.run(max_target_faults=max_faults)
+            costs = list(orchestrator.fault_costs)
             if orchestrator.shard_stats:
                 shard_reports.append(
                     format_shard_summary(
@@ -195,6 +266,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 robust=not args.non_robust,
                 local_backtrack_limit=args.backtrack_limit,
                 sequential_backtrack_limit=args.backtrack_limit,
+                metrics=registry,
                 backend=args.backend,
             )
             prefix = None
@@ -211,7 +283,10 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 time_limit_s=args.time_limit,
                 prefix=prefix,
             )
+            costs = list(atpg.cost_log)
         campaigns.append(campaign)
+        if registry is not None:
+            profiles.append((campaign.circuit_name, registry.snapshot(), costs))
     print(format_campaign_table(campaigns, title="Gate delay fault ATPG results"))
     print()
     print(format_untestable_breakdown(campaigns))
@@ -221,12 +296,35 @@ def _run_campaign(args: argparse.Namespace) -> int:
     for report in shard_reports:
         print()
         print(report)
+    if args.profile:
+        for name, snapshot, costs in profiles:
+            print()
+            print(format_profile(snapshot, costs, title=f"Cost breakdown — {name}"))
+    if args.metrics_out is not None:
+        merged = MetricsSnapshot.merge_all(snapshot for _, snapshot, _ in profiles)
+        all_costs = [cost for _, _, costs in profiles for cost in costs]
+        document = metrics_document(
+            merged,
+            all_costs,
+            context={
+                "command": "campaign",
+                "circuits": [name for name, _, _ in profiles],
+                "jobs": args.jobs,
+                "backend": args.backend,
+                "robust": not args.non_robust,
+            },
+        )
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+        print(f"\nmetrics written to {args.metrics_out}")
     return 0
 
 
-def _add_serve_parser(subparsers) -> None:
+def _add_serve_parser(subparsers, parents) -> None:
     parser = subparsers.add_parser(
-        "serve", help="run the ATPG daemon (HTTP/JSON API, see docs/SERVICE.md)"
+        "serve",
+        help="run the ATPG daemon (HTTP/JSON API, see docs/SERVICE.md)",
+        parents=parents,
     )
     parser.add_argument("--host", default="127.0.0.1", help="listen address")
     parser.add_argument(
@@ -306,16 +404,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro", description="Gate delay fault ATPG for non-scan sequential circuits"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    _add_campaign_parser(subparsers)
-    _add_serve_parser(subparsers)
-    subparsers.add_parser("tables", help="print the algebra truth tables (Tables 1 and 2)")
-    subparsers.add_parser("circuits", help="list the available benchmark circuits")
+    logging_parent = [_logging_parser()]
+    _add_campaign_parser(subparsers, logging_parent)
+    _add_serve_parser(subparsers, logging_parent)
+    subparsers.add_parser(
+        "tables",
+        help="print the algebra truth tables (Tables 1 and 2)",
+        parents=logging_parent,
+    )
+    subparsers.add_parser(
+        "circuits",
+        help="list the available benchmark circuits",
+        parents=logging_parent,
+    )
 
     args = parser.parse_args(argv)
     if args.command == "campaign":
+        _configure_logging(args)
         return _run_campaign(args)
     if args.command == "serve":
+        # A daemon logs its request/lifecycle lines at INFO by default.
+        _configure_logging(args, default_level=logging.INFO)
         return _run_serve(args)
+    _configure_logging(args)
     if args.command == "tables":
         return _run_tables(args)
     return _run_circuits(args)

@@ -44,6 +44,7 @@ from repro.algebra.packed import (
 from repro.algebra.sets import ValueSet
 from repro.circuit.gates import GateType
 from repro.fausim.compile import _OPCODES, OP_BUF, OP_NOT, CompiledCircuit
+from repro.obs.metrics import NULL_REGISTRY
 
 #: Plane list of one signal: ``planes[v]`` holds the slots whose possibility
 #: set contains the value with index ``v`` (multiple planes may carry the
@@ -146,6 +147,10 @@ class PackedSetSimulator:
             :func:`repro.fausim.compile.compile_circuit`).
         robust: use the robust (paper Table 1) or relaxed non-robust tables.
     """
+
+    #: Metrics registry counting wavefront gate evaluations/skips: at most
+    #: two registry calls per sweep, never one per gate (no-op by default).
+    metrics = NULL_REGISTRY
 
     def __init__(self, compiled: CompiledCircuit, robust: bool = True) -> None:
         self.compiled = compiled
@@ -273,6 +278,7 @@ class PackedSetSimulator:
                 apply_move(source, move)
             return [(i, p) for i, p in enumerate(source) if p]
 
+        evaluated = 0
         for index in indices:
             start = offsets[index]
             end = offsets[index + 1]
@@ -286,6 +292,7 @@ class PackedSetSimulator:
                 if not touched:
                     # No input on the wavefront: the parent's value stands.
                     continue
+                evaluated += 1
 
             op = ops[index]
             arity = end - start
@@ -425,6 +432,18 @@ class PackedSetSimulator:
                     low = empty & -empty
                     conflict_signals[low.bit_length() - 1] = name
                     empty ^= low
+
+        metrics = self.metrics
+        if metrics.enabled:
+            total = len(ops) if gate_indices is None else len(gate_indices)
+            if tracking:
+                metrics.inc("repro_wavefront_gates_evaluated_total", evaluated)
+                if total > evaluated:
+                    metrics.inc(
+                        "repro_wavefront_gates_skipped_total", total - evaluated
+                    )
+            else:
+                metrics.inc("repro_wavefront_gates_evaluated_total", total)
 
         return PackedSetResult(
             planes=planes,

@@ -28,6 +28,7 @@ verification — so one choice governs the entire campaign.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -51,11 +52,15 @@ from repro.faults.model import (
 from repro.fausim.backends import create_simulator, resolve_backend
 from repro.fausim.fault_sim import PropagationFaultSimulator
 from repro.fausim.logic_sim import SignalValues
+from repro.obs.metrics import resolve_metrics
+from repro.obs.tracing import FaultCost, FaultSpan
 from repro.semilet.engine import Semilet
 from repro.tdgen.context import TDgenContext
 from repro.tdgen.engine import TDgen
 from repro.tdgen.result import LocalTest, LocalTestStatus
 from repro.tdsim.cpt import DelayFaultSimulator
+
+logger = logging.getLogger(__name__)
 
 
 @dataclasses.dataclass
@@ -85,6 +90,12 @@ class SequentialDelayATPG:
             concrete vectors.
         verify_sequences: re-check every generated sequence with the
             independent gross-delay verification before crediting it.
+        metrics: an optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            defaults to the shared no-op null registry.  With a live
+            registry the flow additionally keeps per-fault
+            :class:`~repro.obs.tracing.FaultCost` records in
+            :attr:`cost_log`.  Instrumentation never changes results:
+            campaigns are bit-identical with metrics on or off.
         backend: simulation *and* implication backend (``"packed"`` — the
             default — or ``"reference"``, see :mod:`repro.fausim.backends`
             and :mod:`repro.tdgen.implication`); used for the logic
@@ -105,6 +116,7 @@ class SequentialDelayATPG:
         fill_value: int = 0,
         verify_sequences: bool = True,
         enable_fault_simulation: bool = True,
+        metrics: Optional[object] = None,
         backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
@@ -113,6 +125,8 @@ class SequentialDelayATPG:
         self.max_local_retries = max_local_retries
         self.verify_sequences = verify_sequences
         self.enable_fault_simulation = enable_fault_simulation
+        self.metrics = resolve_metrics(metrics)
+        self.cost_log: List[FaultCost] = []
         self.backend = resolve_backend(backend)
 
         self.context = TDgenContext(circuit)
@@ -121,6 +135,7 @@ class SequentialDelayATPG:
             robust=robust,
             backtrack_limit=local_backtrack_limit,
             context=self.context,
+            metrics=self.metrics,
             backend=self.backend,
         )
         self.semilet = Semilet(
@@ -128,12 +143,18 @@ class SequentialDelayATPG:
             backtrack_limit=sequential_backtrack_limit,
             max_propagation_frames=max_propagation_frames,
             max_synchronization_frames=max_synchronization_frames,
+            metrics=self.metrics,
             backend=self.backend,
         )
         self.fault_simulator = DelayFaultSimulator(
-            circuit, robust=robust, context=self.context, backend=self.backend
+            circuit,
+            robust=robust,
+            context=self.context,
+            metrics=self.metrics,
+            backend=self.backend,
         )
         self._logic_simulator = create_simulator(circuit, self.backend)
+        self._logic_simulator.metrics = self.metrics
 
     # ------------------------------------------------------------------ #
     # campaign driver
@@ -166,34 +187,46 @@ class SequentialDelayATPG:
 
         fault_universe = list(faults) if faults is not None else enumerate_delay_faults(self.circuit)
         fault_list = FaultList(fault_universe)
+        logger.info(
+            "campaign start: circuit=%s faults=%d backend=%s robust=%s",
+            self.circuit.name, len(fault_list), self.backend, self.robust,
+        )
         campaign = CampaignResult(circuit_name=self.circuit.name, total_faults=len(fault_list))
         start = time.perf_counter()
         deadline = start + time_limit_s if time_limit_s is not None else None
 
-        if prefix is not None:
-            engine = RandomPrefixEngine(
-                self.circuit,
-                prefix,
-                robust=self.robust,
-                fill_value=self.fill_value,
-                backend=self.backend,
-            )
-            outcome = engine.run(fault_universe, deadline=deadline)
-            apply_prefix_outcome(campaign, fault_list, outcome)
+        with self.metrics.timed("repro_phase_seconds", phase="campaign"):
+            if prefix is not None:
+                engine = RandomPrefixEngine(
+                    self.circuit,
+                    prefix,
+                    robust=self.robust,
+                    fill_value=self.fill_value,
+                    metrics=self.metrics,
+                    backend=self.backend,
+                )
+                with self.metrics.timed("repro_phase_seconds", phase="prefix"):
+                    outcome = engine.run(fault_universe, deadline=deadline)
+                apply_prefix_outcome(campaign, fault_list, outcome)
 
-        for fault in fault_universe:
-            if fault_list.status(fault) is not FaultStatus.UNTARGETED:
-                continue
-            if max_target_faults is not None and campaign.targeted >= max_target_faults:
-                break
-            if deadline is not None and time.perf_counter() > deadline:
-                break
+            for fault in fault_universe:
+                if fault_list.status(fault) is not FaultStatus.UNTARGETED:
+                    continue
+                if max_target_faults is not None and campaign.targeted >= max_target_faults:
+                    break
+                if deadline is not None and time.perf_counter() > deadline:
+                    break
 
-            result = self.target_fault(fault, deadline=deadline)
-            newly_detected = credit_fault_result(result, fault_list)
-            campaign.record(result, newly_detected)
+                result = self.target_fault(fault, deadline=deadline)
+                newly_detected = credit_fault_result(result, fault_list)
+                campaign.record(result, newly_detected)
 
         campaign.finalize(fault_list.counts(), time.perf_counter() - start)
+        logger.info(
+            "campaign done: circuit=%s tested=%d untestable=%d aborted=%d time=%.3fs",
+            campaign.circuit_name, campaign.tested, campaign.untestable,
+            campaign.aborted, campaign.cpu_seconds,
+        )
         return campaign
 
     # ------------------------------------------------------------------ #
@@ -213,14 +246,31 @@ class SequentialDelayATPG:
         orchestration layer (:mod:`repro.orchestrate`) ship it to worker
         processes and still merge a deterministic, serially-identical
         campaign.
+
+        With a live metrics registry the call is wrapped in a
+        :class:`~repro.obs.tracing.FaultSpan` and its
+        :class:`~repro.obs.tracing.FaultCost` record is appended to
+        :attr:`cost_log`; the targeting itself is byte-for-byte the same.
         """
+        if not self.metrics.enabled:
+            return self._target_fault_impl(fault, deadline)
+        span = FaultSpan(self.metrics, fault, engine=self.backend)
+        result = self._target_fault_impl(fault, deadline)
+        self.cost_log.append(span.finish(result))
+        return result
+
+    def _target_fault_impl(
+        self, fault: GateDelayFault, deadline: Optional[float]
+    ) -> FaultResult:
+        """The uninstrumented body of :meth:`target_fault`."""
         result = self.generate_for_fault(fault, deadline=deadline)
         if (
             result.status is FaultResultStatus.TESTED
             and self.enable_fault_simulation
             and result.sequence is not None
         ):
-            result.additionally_detected = self._simulate_sequence(result.sequence)
+            with self.metrics.timed("repro_phase_seconds", phase="tdsim"):
+                result.additionally_detected = self._simulate_sequence(result.sequence)
         return result
 
     # ------------------------------------------------------------------ #
@@ -295,12 +345,13 @@ class SequentialDelayATPG:
         ``(_AttemptFailure, newly_blocked_ppos)``.
         """
         blocked_states = blocked_states or []
-        local = self.tdgen.generate(
-            fault,
-            blocked_observation=sorted(blocked_ppos),
-            blocked_states=blocked_states,
-            deadline=deadline,
-        )
+        with self.metrics.timed("repro_phase_seconds", phase="tdgen"):
+            local = self.tdgen.generate(
+                fault,
+                blocked_observation=sorted(blocked_ppos),
+                blocked_states=blocked_states,
+                deadline=deadline,
+            )
         if local.status is LocalTestStatus.UNTESTABLE:
             return (
                 _AttemptFailure(
@@ -329,9 +380,10 @@ class SequentialDelayATPG:
                 for ppi in self.circuit.pseudo_primary_inputs
                 if ppi not in good_state
             ]
-            propagation = self.semilet.propagate(
-                good_state, faulty_state, assignable, deadline=deadline
-            )
+            with self.metrics.timed("repro_phase_seconds", phase="propagation"):
+                propagation = self.semilet.propagate(
+                    good_state, faulty_state, assignable, deadline=deadline
+                )
             sequential_backtracks += propagation.backtracks
             if not propagation.success:
                 status = (
@@ -361,13 +413,14 @@ class SequentialDelayATPG:
                     for ppi, value in propagation.required_first_frame_ppis.items()
                 }
                 required_propagation_ppos.update(constraints)
-                revised = self.tdgen.generate(
-                    fault,
-                    required_ppo_values=constraints,
-                    blocked_observation=sorted(blocked_ppos),
-                    blocked_states=blocked_states,
-                    deadline=deadline,
-                )
+                with self.metrics.timed("repro_phase_seconds", phase="tdgen"):
+                    revised = self.tdgen.generate(
+                        fault,
+                        required_ppo_values=constraints,
+                        blocked_observation=sorted(blocked_ppos),
+                        blocked_states=blocked_states,
+                        deadline=deadline,
+                    )
                 if revised.status is not LocalTestStatus.SUCCESS:
                     status = (
                         FaultResultStatus.ABORTED
@@ -409,7 +462,8 @@ class SequentialDelayATPG:
 
         # --- justification of test frames / initialisation ----------------- #
         required_state = local.required_state()
-        synchronization = self.semilet.synchronize(required_state, deadline=deadline)
+        with self.metrics.timed("repro_phase_seconds", phase="synchronization"):
+            synchronization = self.semilet.synchronize(required_state, deadline=deadline)
         sequential_backtracks += synchronization.backtracks
         if not synchronization.success:
             status = (
@@ -438,7 +492,8 @@ class SequentialDelayATPG:
             fault, local, synchronization.vectors, propagation_vectors, observation_point
         )
         if self.verify_sequences:
-            report = verify_test_sequence(self.circuit, sequence, backend=self.backend)
+            with self.metrics.timed("repro_phase_seconds", phase="verify"):
+                report = verify_test_sequence(self.circuit, sequence, backend=self.backend)
             if not report.detected:
                 observed_ppos = {
                     signal

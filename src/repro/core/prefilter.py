@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+import logging
 import random
 import time
 import zlib
@@ -52,8 +53,11 @@ from repro.core.results import CampaignResult, TestSequence
 from repro.core.verify import grade_test_sequence
 from repro.faults.model import FaultList, GateDelayFault
 from repro.fausim.backends import create_simulator, resolve_backend
+from repro.obs.metrics import resolve_metrics
 from repro.tdgen.context import TDgenContext
 from repro.tdsim.cpt import DelayFaultSimulator
+
+logger = logging.getLogger(__name__)
 
 #: Stop reasons reported by :meth:`RandomPrefixEngine.run`.
 STOP_WINDOW = "window"
@@ -179,6 +183,9 @@ class RandomPrefixEngine:
             deterministic sequences.
         fill_value: deterministic fill for state bits the initialisation
             frames leave unknown, mirroring the flow's sequence assembly.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`; the
+            prefix phase counts sequences graded, candidate detections and
+            credited detections on it.
         backend: simulation backend (see :mod:`repro.fausim.backends`) used
             for the word-parallel grading, the initialisation-state replay
             and the TDsim confirmation.
@@ -190,18 +197,25 @@ class RandomPrefixEngine:
         config: PrefixConfig,
         robust: bool = True,
         fill_value: int = 0,
+        metrics: Optional[object] = None,
         backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.config = config
         self.robust = robust
         self.fill_value = fill_value
+        self.metrics = resolve_metrics(metrics)
         self.backend = resolve_backend(backend)
         self.context = TDgenContext(circuit)
         self.fault_simulator = DelayFaultSimulator(
-            circuit, robust=robust, context=self.context, backend=self.backend
+            circuit,
+            robust=robust,
+            context=self.context,
+            metrics=self.metrics,
+            backend=self.backend,
         )
         self._logic_simulator = create_simulator(circuit, self.backend)
+        self._logic_simulator.metrics = self.metrics
 
     # ------------------------------------------------------------------ #
     # sequence construction
@@ -313,24 +327,37 @@ class RandomPrefixEngine:
             next_seq += 1
             window.append(len(record.detections))
             records.append(record)
+            if self.metrics.enabled:
+                self.metrics.inc("repro_prefix_sequences_total")
+                self.metrics.inc("repro_prefix_candidates_total", record.candidates)
+                self.metrics.inc(
+                    "repro_prefix_detections_total", len(record.detections)
+                )
             if record.detections:
                 detected.extend(record.detections)
                 dropped = set(record.detections)
                 remaining_set -= dropped
                 remaining = [fault for fault in remaining if fault not in dropped]
 
+        def _finish(reason: str) -> PrefixOutcome:
+            logger.info(
+                "prefix phase done: sequences=%d detected=%d stop=%s",
+                len(records), len(detected), reason,
+            )
+            return PrefixOutcome(records, detected, reason)
+
         while True:
             if not remaining:
-                return PrefixOutcome(records, detected, STOP_EXHAUSTED)
+                return _finish(STOP_EXHAUSTED)
             if next_seq >= self.config.budget:
-                return PrefixOutcome(records, detected, STOP_BUDGET)
+                return _finish(STOP_BUDGET)
             if (
                 len(window) == self.config.window
                 and sum(window) < self.config.min_window_detections
             ):
-                return PrefixOutcome(records, detected, STOP_WINDOW)
+                return _finish(STOP_WINDOW)
             if deadline is not None and time.perf_counter() > deadline:
-                return PrefixOutcome(records, detected, STOP_DEADLINE)
+                return _finish(STOP_DEADLINE)
 
             sequence = self.generate_sequence(next_seq, remaining[0])
             credited, candidates = self.evaluate(sequence, remaining)
@@ -343,6 +370,10 @@ class RandomPrefixEngine:
             next_seq += 1
             window.append(len(credited))
             records.append(record)
+            if self.metrics.enabled:
+                self.metrics.inc("repro_prefix_sequences_total")
+                self.metrics.inc("repro_prefix_candidates_total", candidates)
+                self.metrics.inc("repro_prefix_detections_total", len(credited))
             if credited:
                 detected.extend(credited)
                 dropped = set(credited)

@@ -1,10 +1,17 @@
-"""Rendering of campaign results in the style of the paper's Table 3."""
+"""Rendering of campaign results in the style of the paper's Table 3.
+
+Besides the Table 3 row itself this module renders the satellite reports the
+CLI prints next to it: the untestable breakdown, the random-prefix summary,
+the per-shard summary of an orchestrated campaign and — when ``--profile``
+is on — the instrumentation cost breakdown (:func:`format_profile`).
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.results import CampaignResult
+from repro.obs.metrics import MetricsSnapshot, split_metric_key
 
 _TABLE3_COLUMNS = ("circuit", "tested", "untstbl", "aborted", "#pat", "time[s]")
 
@@ -90,6 +97,98 @@ def format_shard_summary(
         )
     lines = _render_table(_SHARD_COLUMNS, rows, title=title)
     lines.append(f"replay merge recomputed {recomputed} over-dropped fault(s)")
+    return "\n".join(lines)
+
+
+_PHASE_COLUMNS = ("phase", "calls", "time[s]")
+_FAULT_COST_COLUMNS = (
+    "fault", "status", "engine", "time[s]", "decisions", "backtracks",
+    "sweeps", "words",
+)
+_ABORT_COLUMNS = ("abort phase", "faults")
+
+
+def format_profile(
+    snapshot: MetricsSnapshot,
+    fault_costs: Sequence[object] = (),
+    top_n: int = 10,
+    title: str = "Cost breakdown",
+) -> str:
+    """The ``--profile`` report: phase times, priciest faults, abort reasons.
+
+    Args:
+        snapshot: a campaign registry snapshot
+            (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`).
+        fault_costs: per-fault :class:`~repro.obs.tracing.FaultCost` records
+            (the flow's ``cost_log`` or the coordinator's ``fault_costs``);
+            the ``top_n`` most expensive by wall time are tabulated.
+        top_n: how many faults to show.
+        title: heading of the report.
+
+    Three tables: wall time per flow phase (from the
+    ``repro_phase_seconds`` timers), the top-N most expensive faults with
+    their search-effort attribution, and the abort-reason histogram (from
+    ``repro_fault_aborts_total``).
+    """
+    lines: List[str] = [title, ""]
+
+    phase_rows: List[Dict[str, object]] = []
+    for key in sorted(snapshot.timers):
+        name, labels = split_metric_key(key)
+        if name != "repro_phase_seconds":
+            continue
+        timer = snapshot.timers[key]
+        phase = dict(labels).get("phase", "-")
+        phase_rows.append(
+            {
+                "phase": phase,
+                "calls": int(timer["count"]),
+                "time[s]": f"{timer['sum']:.3f}",
+            }
+        )
+    if phase_rows:
+        lines.extend(_render_table(_PHASE_COLUMNS, phase_rows, title="Time per phase"))
+        lines.append("")
+
+    costs = sorted(fault_costs, key=lambda cost: cost.seconds, reverse=True)
+    if costs and top_n > 0:
+        rows = [
+            {
+                "fault": cost.fault,
+                "status": cost.status,
+                "engine": cost.engine,
+                "time[s]": f"{cost.seconds:.4f}",
+                "decisions": cost.decisions,
+                "backtracks": cost.local_backtracks + cost.sequential_backtracks,
+                "sweeps": cost.implication_sweeps,
+                "words": cost.words_simulated,
+            }
+            for cost in costs[: max(top_n, 0)]
+        ]
+        lines.extend(
+            _render_table(
+                _FAULT_COST_COLUMNS,
+                rows,
+                title=f"Top {len(rows)} most expensive faults (of {len(costs)})",
+            )
+        )
+        lines.append("")
+
+    abort_rows: List[Dict[str, object]] = []
+    for key in sorted(snapshot.counters):
+        name, labels = split_metric_key(key)
+        if name != "repro_fault_aborts_total":
+            continue
+        abort_rows.append(
+            {
+                "abort phase": dict(labels).get("phase", "-"),
+                "faults": int(snapshot.counters[key]),
+            }
+        )
+    if abort_rows:
+        lines.extend(_render_table(_ABORT_COLUMNS, abort_rows, title="Aborts by phase"))
+    while lines and lines[-1] == "":
+        lines.pop()
     return "\n".join(lines)
 
 

@@ -324,6 +324,10 @@ class NumpyLogicSimulator(PackedLogicSimulator):
 
         planes.zero[:] = _array_to_planes(zero_w)
         planes.one[:] = _array_to_planes(one_w)
+        if self.metrics.enabled:
+            self.metrics.inc(
+                "repro_sim_gate_words_total", len(self.compiled.ops) * words
+            )
 
 
 def create_numpy_simulator(circuit: Circuit):

@@ -46,6 +46,7 @@ from repro.fausim.compile import (
     compile_circuit,
 )
 from repro.fausim.logic_sim import FrameResult, SequenceResult, SignalValues
+from repro.obs.metrics import NULL_REGISTRY
 
 #: Patterns simulated per machine word; batches are chunked at this width so
 #: every bitwise operation stays on single-word integers.
@@ -96,6 +97,10 @@ class PackedLogicSimulator:
     :class:`~repro.fausim.logic_sim.LogicSimulator` exactly and run as a
     batch of one.
     """
+
+    #: Metrics registry counting gate-word evaluations: one registry call per
+    #: evaluation *pass*, never per gate (no-op by default).
+    metrics = NULL_REGISTRY
 
     def __init__(self, circuit: Circuit, word_bits: int = WORD_BITS) -> None:
         if word_bits < 1:
@@ -174,6 +179,11 @@ class PackedLogicSimulator:
             out = outputs[index]
             zero[out] = acc_zero
             one[out] = acc_one
+        if self.metrics.enabled:
+            self.metrics.inc(
+                "repro_sim_gate_words_total",
+                len(indices) * ((planes.width + 63) // 64),
+            )
 
     def evaluate_planes_forced(
         self,
@@ -269,6 +279,11 @@ class PackedLogicSimulator:
                 acc_one = (acc_one & ~clear) | set_one
             zero[out] = acc_zero
             one[out] = acc_one
+        if self.metrics.enabled:
+            self.metrics.inc(
+                "repro_sim_gate_words_total",
+                len(compiled.ops) * ((planes.width + 63) // 64),
+            )
 
     def load_planes(
         self,

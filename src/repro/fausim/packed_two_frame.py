@@ -53,6 +53,7 @@ from repro.fausim.compile import (
     compile_circuit,
 )
 from repro.fausim.packed_sim import WORD_BITS
+from repro.obs.metrics import NULL_REGISTRY
 
 #: Opcode -> (two-input core gate type, apply inverter permutation afterwards),
 #: derived mechanically from the compiler's opcode map and the algebra's
@@ -119,6 +120,11 @@ class PackedTwoFrameSimulator:
             truth tables.
         word_bits: maximum number of injections per :meth:`simulate` call.
     """
+
+    #: Metrics sink — assigned by owners that instrument this simulator; the
+    #: single counter update per :meth:`simulate` call keeps the disabled
+    #: path free of any per-gate overhead.
+    metrics = NULL_REGISTRY
 
     def __init__(self, circuit: Circuit, robust: bool = True, word_bits: int = WORD_BITS) -> None:
         if word_bits < 1:
@@ -324,6 +330,13 @@ class PackedTwoFrameSimulator:
                     self._inject(acc, fault, bit)
             planes[out] = acc
 
+        if self.metrics.enabled:
+            # Frame 1 evaluates every gate once over a single binary word;
+            # frame 2 evaluates every gate over the packed injection word.
+            self.metrics.inc(
+                "repro_sim_gate_words_total",
+                len(compiled.ops) * (1 + (width + 63) // 64),
+            )
         return PackedTwoFrameResult(
             compiled=compiled, planes=planes, width=width, frame1=frame1
         )

@@ -1,0 +1,49 @@
+"""Observability layer: metrics, tracing spans and exporters.
+
+``repro.obs`` is the instrumentation subsystem of the reproduction.  It is
+**zero-overhead when disabled**: every instrumented layer defaults to the
+shared :data:`~repro.obs.metrics.NULL_REGISTRY` no-op registry, and the hot
+simulation paths make at most one registry call per pass (never per gate).
+Pass a live :class:`~repro.obs.metrics.MetricsRegistry` (CLI ``--profile``/
+``--metrics-out``, orchestrator ``collect_metrics``, service jobs) to turn
+collection on; campaign results are bit-identical either way.
+
+Public surface:
+
+* :class:`~repro.obs.metrics.MetricsRegistry`, :data:`~repro.obs.metrics.NULL_REGISTRY`,
+  :class:`~repro.obs.metrics.MetricsSnapshot` — collection and merging;
+* :class:`~repro.obs.tracing.FaultSpan`, :class:`~repro.obs.tracing.FaultCost`,
+  :func:`~repro.obs.tracing.fold_cost` — per-fault cost attribution;
+* :func:`~repro.obs.export.render_prometheus`,
+  :func:`~repro.obs.export.metrics_document` — exposition.
+"""
+
+from .export import metrics_document, render_prometheus
+from .metrics import (
+    METRIC_HELP,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    metric_key,
+    resolve_metrics,
+    split_metric_key,
+)
+from .tracing import FaultCost, FaultSpan, deterministic_counters, fold_cost
+
+__all__ = [
+    "METRIC_HELP",
+    "NULL_REGISTRY",
+    "FaultCost",
+    "FaultSpan",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "deterministic_counters",
+    "fold_cost",
+    "metric_key",
+    "metrics_document",
+    "render_prometheus",
+    "resolve_metrics",
+    "split_metric_key",
+]

@@ -1,0 +1,110 @@
+"""Snapshot exporters: JSON documents and Prometheus text exposition.
+
+Two consumers read metric snapshots:
+
+* machines — ``snapshot.to_json()`` (already JSON-ready) wrapped by
+  :func:`metrics_document` with a schema version, written by the CLI's
+  ``--metrics-out`` and served by ``GET /metrics?format=json``;
+* scrapers — :func:`render_prometheus` renders the text exposition format
+  (version 0.0.4): ``# HELP``/``# TYPE`` headers from the
+  :data:`~repro.obs.metrics.METRIC_HELP` catalogue, counters as-is, timers
+  as Prometheus summaries (``_count``/``_sum``), histograms with cumulative
+  ``_bucket{le=...}`` series plus the ``+Inf`` bucket, gauges last.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .metrics import METRIC_HELP, MetricsSnapshot, split_metric_key
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value without a spurious trailing ``.0`` on ints."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _header(lines: List[str], name: str, kind: str, seen: set) -> None:
+    """Emit one ``# HELP``/``# TYPE`` pair per metric family."""
+    if name in seen:
+        return
+    seen.add(name)
+    help_text = METRIC_HELP.get(name, name.replace("_", " "))
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def _labelled(name: str, labels, extra: Optional[str] = None) -> str:
+    """Re-render a metric key with an optional extra ``le`` label."""
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra is not None:
+        parts.append(extra)
+    if not parts:
+        return name
+    return f"{name}{{{','.join(parts)}}}"
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen: set = set()
+
+    for key in sorted(snapshot.counters):
+        name, labels = split_metric_key(key)
+        _header(lines, name, "counter", seen)
+        lines.append(f"{_labelled(name, labels)} {_format_value(snapshot.counters[key])}")
+
+    for key in sorted(snapshot.timers):
+        name, labels = split_metric_key(key)
+        _header(lines, name, "summary", seen)
+        timer = snapshot.timers[key]
+        lines.append(f"{_labelled(name + '_count', labels)} {_format_value(timer['count'])}")
+        lines.append(f"{_labelled(name + '_sum', labels)} {_format_value(timer['sum'])}")
+
+    for key in sorted(snapshot.histograms):
+        name, labels = split_metric_key(key)
+        _header(lines, name, "histogram", seen)
+        hist = snapshot.histograms[key]
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            le = f'le="{_format_value(bound)}"'
+            lines.append(f"{_labelled(name + '_bucket', labels, le)} {cumulative}")
+        inf_label = 'le="+Inf"'
+        lines.append(
+            f"{_labelled(name + '_bucket', labels, inf_label)} {hist['count']}"
+        )
+        lines.append(f"{_labelled(name + '_count', labels)} {_format_value(hist['count'])}")
+        lines.append(f"{_labelled(name + '_sum', labels)} {_format_value(hist['sum'])}")
+
+    for key in sorted(snapshot.gauges):
+        name, labels = split_metric_key(key)
+        _header(lines, name, "gauge", seen)
+        lines.append(f"{_labelled(name, labels)} {_format_value(snapshot.gauges[key])}")
+
+    return "\n".join(lines) + "\n"
+
+
+def metrics_document(
+    snapshot: MetricsSnapshot,
+    fault_costs: Iterable[object] = (),
+    context: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """A versioned JSON document wrapping a snapshot and its cost records.
+
+    ``fault_costs`` accepts :class:`~repro.obs.tracing.FaultCost` records
+    (anything with ``to_json``); ``context`` carries free-form workload
+    identification (circuit, jobs, backend, ...).
+    """
+    document: Dict[str, object] = {
+        "version": 1,
+        "metrics": snapshot.to_json(),
+        "fault_costs": [cost.to_json() for cost in fault_costs],
+    }
+    if context:
+        document["context"] = dict(context)
+    return document

@@ -42,6 +42,7 @@ replay runs over old and new records together.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import multiprocessing
 import os
 import queue as queue_module
@@ -52,6 +53,8 @@ from repro.circuit.netlist import Circuit
 from repro.core.flow import SequentialDelayATPG, credit_fault_result
 from repro.core.results import CampaignResult, FaultResult
 from repro.faults.model import FaultList, FaultStatus, GateDelayFault, enumerate_delay_faults
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, resolve_metrics
+from repro.obs.tracing import FaultCost, fold_cost
 from repro.orchestrate.journal import (
     CampaignJournal,
     JournalSegment,
@@ -60,6 +63,8 @@ from repro.orchestrate.journal import (
 )
 from repro.orchestrate.partition import PARTITION_MODES, derive_shard_seed, plan_shards
 from repro.orchestrate.worker import worker_main
+
+logger = logging.getLogger(__name__)
 
 
 class CampaignInterrupted(RuntimeError):
@@ -108,6 +113,12 @@ class OrchestratorConfig:
     rpg_budget: int = 256
     rpg_window: int = 16
     rpg_length: int = 8
+    #: Give every shard its own :class:`~repro.obs.metrics.MetricsRegistry`
+    #: and collect per-fault cost records.  Observability only: deliberately
+    #: absent from :meth:`digest_payload` (and from :meth:`atpg_kwargs` —
+    #: workers receive it as a separate argument) because instrumentation
+    #: never changes per-fault results.
+    collect_metrics: bool = False
 
     def atpg_kwargs(self) -> Dict[str, object]:
         """Keyword arguments for building a worker's ``SequentialDelayATPG``."""
@@ -203,6 +214,13 @@ class CampaignOrchestrator:
         should_stop: polled between records (and before every replay-merge
             recompute); returning True terminates the workers and raises
             :class:`CampaignInterrupted`, leaving the journal resumable.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry` the
+            merged campaign aggregates land on.  When omitted but
+            ``config.collect_metrics`` is set, a fresh registry is created
+            (read it back via :attr:`metrics`).  The deterministic counters
+            are folded from the *credited* per-fault cost records during the
+            replay merge, so the aggregates are identical for any worker
+            count or partition mode — and equal to a serial campaign's.
     """
 
     def __init__(
@@ -213,9 +231,13 @@ class CampaignOrchestrator:
         resume: bool = False,
         on_record=None,
         should_stop=None,
+        metrics=None,
     ) -> None:
         self.circuit = circuit
         self.config = config or OrchestratorConfig()
+        if metrics is None and self.config.collect_metrics:
+            metrics = MetricsRegistry()
+        self.metrics = resolve_metrics(metrics)
         if self.config.jobs < 1:
             raise ValueError("jobs must be >= 1")
         if self.config.partition not in PARTITION_MODES:
@@ -231,6 +253,14 @@ class CampaignOrchestrator:
         self.shard_stats: List[Dict[str, object]] = []
         self.recomputed = 0
         self._fallback_atpg: Optional[SequentialDelayATPG] = None
+        #: Credited per-fault cost records, in enumeration order (replay
+        #: merge); empty when instrumentation is off.
+        self.fault_costs: List[FaultCost] = []
+        #: Merged raw worker snapshots (speculative work included) — a
+        #: diagnostic view; the deterministic aggregates live on
+        #: :attr:`metrics`.
+        self.shard_metrics: Optional[MetricsSnapshot] = None
+        self._worker_snapshots: List[MetricsSnapshot] = []
 
     def _emit(self, journal: Optional[CampaignJournal], record: Dict[str, object]) -> None:
         """Checkpoint one record and forward it to the progress hook."""
@@ -261,6 +291,9 @@ class CampaignOrchestrator:
                 speculatively compute more; the surplus is discarded).
         """
         started = time.perf_counter()
+        self.fault_costs = []
+        self._worker_snapshots = []
+        self.shard_metrics = None
         universe = (
             list(faults) if faults is not None else enumerate_delay_faults(self.circuit)
         )
@@ -298,54 +331,72 @@ class CampaignOrchestrator:
 
         journal = CampaignJournal(self.journal_path) if self.journal_path else None
         try:
-            self._emit(
-                journal,
-                {
-                    "type": "campaign",
-                    "circuit": self.circuit.name,
-                    "digest": digest,
-                    "total_faults": len(universe),
-                    "jobs": self.config.jobs,
-                    "partition": self.config.partition,
-                    "campaign_seed": self.config.campaign_seed,
-                    "resumed_records": len(records),
-                    "resumed_prefix": len(prefix_records),
-                },
-            )
-            # Phase A of a hybrid campaign runs once, single-threaded, before
-            # any partitioning: the shards are then cut from the residue the
-            # random prefix could not detect, and the serial/parallel results
-            # stay bit-identical because Phase A never depends on jobs.
-            prefix_outcome = self._run_prefix(
-                universe, prefix_records, prefix_done, journal
-            )
-            prefix_detected = (
-                set(prefix_outcome.detected) if prefix_outcome is not None else set()
-            )
-            remaining = [
-                index
-                for index in range(len(universe))
-                if index not in records and universe[index] not in prefix_detected
-            ]
-            if remaining:
-                self._run_workers(universe, remaining, records, journal, max_target_faults)
-            campaign = self._replay(
-                universe, records, max_target_faults, journal, started, prefix_outcome
-            )
-            self._emit(
-                journal,
-                {
-                    "type": "result",
-                    "circuit": self.circuit.name,
-                    "digest": digest,
-                    "max_target_faults": max_target_faults,
-                    "campaign": campaign.to_json(),
-                },
-            )
-            return campaign
+            with self.metrics.timed("repro_phase_seconds", phase="campaign"):
+                return self._run_campaign(
+                    universe, records, prefix_records, prefix_done, digest,
+                    journal, max_target_faults, started,
+                )
         finally:
             if journal is not None:
                 journal.close()
+
+    def _run_campaign(
+        self,
+        universe: List[GateDelayFault],
+        records: Dict[int, Dict[str, object]],
+        prefix_records: Dict[int, Dict[str, object]],
+        prefix_done: Optional[Dict[str, object]],
+        digest: str,
+        journal: Optional[CampaignJournal],
+        max_target_faults: Optional[int],
+        started: float,
+    ) -> CampaignResult:
+        """The campaign body of :meth:`run` (split out for phase timing)."""
+        self._emit(
+            journal,
+            {
+                "type": "campaign",
+                "circuit": self.circuit.name,
+                "digest": digest,
+                "total_faults": len(universe),
+                "jobs": self.config.jobs,
+                "partition": self.config.partition,
+                "campaign_seed": self.config.campaign_seed,
+                "resumed_records": len(records),
+                "resumed_prefix": len(prefix_records),
+            },
+        )
+        # Phase A of a hybrid campaign runs once, single-threaded, before
+        # any partitioning: the shards are then cut from the residue the
+        # random prefix could not detect, and the serial/parallel results
+        # stay bit-identical because Phase A never depends on jobs.
+        prefix_outcome = self._run_prefix(
+            universe, prefix_records, prefix_done, journal
+        )
+        prefix_detected = (
+            set(prefix_outcome.detected) if prefix_outcome is not None else set()
+        )
+        remaining = [
+            index
+            for index in range(len(universe))
+            if index not in records and universe[index] not in prefix_detected
+        ]
+        if remaining:
+            self._run_workers(universe, remaining, records, journal, max_target_faults)
+        campaign = self._replay(
+            universe, records, max_target_faults, journal, started, prefix_outcome
+        )
+        self._emit(
+            journal,
+            {
+                "type": "result",
+                "circuit": self.circuit.name,
+                "digest": digest,
+                "max_target_faults": max_target_faults,
+                "campaign": campaign.to_json(),
+            },
+        )
+        return campaign
 
     # ------------------------------------------------------------------ #
     # random-pattern prefix (Phase A of a hybrid campaign)
@@ -376,7 +427,17 @@ class CampaignOrchestrator:
         ]
         if prefix_done is not None:
             # Phase A already finished in an earlier run: rebuild its outcome
-            # from the journal alone.
+            # from the journal alone.  The prefix counters are replayed too,
+            # so a resumed campaign's aggregates match an uninterrupted one.
+            if self.metrics.enabled:
+                for record in replay:
+                    self.metrics.inc("repro_prefix_sequences_total")
+                    self.metrics.inc(
+                        "repro_prefix_candidates_total", record.candidates
+                    )
+                    self.metrics.inc(
+                        "repro_prefix_detections_total", len(record.detections)
+                    )
             detected = [fault for record in replay for fault in record.detections]
             return PrefixOutcome(
                 records=replay,
@@ -389,6 +450,7 @@ class CampaignOrchestrator:
             prefix_cfg,
             robust=self.config.robust,
             fill_value=self.config.fill_value,
+            metrics=self.metrics,
             backend=self.config.backend,
         )
 
@@ -397,7 +459,8 @@ class CampaignOrchestrator:
             if self._stop_requested():
                 raise CampaignInterrupted(self.circuit.name, record.seq + 1)
 
-        outcome = engine.run(universe, replay=replay, on_record=on_record)
+        with self.metrics.timed("repro_phase_seconds", phase="prefix"):
+            outcome = engine.run(universe, replay=replay, on_record=on_record)
         self._emit(
             journal,
             {
@@ -457,6 +520,10 @@ class CampaignOrchestrator:
                 for inbox in broadcast_queues:
                     inbox.put({"index": index, "detections": detections})
 
+        logger.info(
+            "spawning %d worker(s): partition=%s remaining=%d",
+            jobs, config.partition, len(remaining),
+        )
         processes = []
         for worker_id in range(jobs):
             # Dynamic mode: the shared task queue assigns the work, but the
@@ -476,6 +543,7 @@ class CampaignOrchestrator:
                     result_queue,
                     broadcast_queues[worker_id],
                     config.atpg_kwargs(),
+                    self.metrics.enabled,
                 ),
             )
             process.start()
@@ -506,7 +574,13 @@ class CampaignOrchestrator:
                     )
                 if kind == "done":
                     done.add(message["worker"])
-                    self.shard_stats.append(message["stats"])
+                    stats = dict(message["stats"])
+                    shard_snapshot = stats.pop("metrics", None)
+                    if shard_snapshot is not None:
+                        self._worker_snapshots.append(
+                            MetricsSnapshot.from_json(shard_snapshot)
+                        )
+                    self.shard_stats.append(stats)
                     continue
                 self._emit(journal, message)
                 if kind in ("fault", "drop"):
@@ -543,6 +617,10 @@ class CampaignOrchestrator:
             result_queue.cancel_join_thread()
             result_queue.close()
         self.shard_stats.sort(key=lambda stats: stats["worker"])
+        if self._worker_snapshots:
+            # Key-wise sums: the merge is commutative and associative, so any
+            # arrival order (and any worker count) yields the same snapshot.
+            self.shard_metrics = MetricsSnapshot.merge_all(self._worker_snapshots)
 
     @staticmethod
     def _check_liveness(processes, done) -> None:
@@ -595,40 +673,64 @@ class CampaignOrchestrator:
             if max_target_faults is not None and campaign.targeted >= max_target_faults:
                 break
             record = records.get(index)
+            cost_payload: Optional[Dict[str, object]] = None
             if record is None:
                 if self._stop_requested():
                     raise CampaignInterrupted(self.circuit.name, len(records))
                 result = self._fallback(fault)
                 self.recomputed += 1
-                self._emit(
-                    journal,
-                    {
-                        "type": "fault",
-                        "index": index,
-                        "worker": -1,  # recomputed by the coordinator
-                        "result": _result_payload(result),
-                        "detections": [
-                            detection.to_json()
-                            for detection in result.additionally_detected
-                        ],
-                    },
-                )
+                fallback_atpg = self._fallback_atpg
+                if fallback_atpg is not None and fallback_atpg.cost_log:
+                    cost_payload = fallback_atpg.cost_log.pop().to_json()
+                fallback_record = {
+                    "type": "fault",
+                    "index": index,
+                    "worker": -1,  # recomputed by the coordinator
+                    "result": _result_payload(result),
+                    "detections": [
+                        detection.to_json()
+                        for detection in result.additionally_detected
+                    ],
+                }
+                if cost_payload is not None:
+                    fallback_record["cost"] = cost_payload
+                self._emit(journal, fallback_record)
             else:
                 result = FaultResult.from_json(record["result"])
                 result.additionally_detected = [
                     GateDelayFault.from_json(payload)
                     for payload in record["detections"]
                 ]
+                cost_payload = record.get("cost")
+            if self.metrics.enabled and cost_payload is not None:
+                # Only the records the serial order actually reaches are
+                # folded — speculative worker records are discarded with
+                # their costs, which is what makes the aggregates (and the
+                # cost log) independent of jobs and partitioning.
+                cost = FaultCost.from_json(cost_payload)
+                fold_cost(self.metrics, cost)
+                self.fault_costs.append(cost)
             newly = credit_fault_result(result, fault_list)
             campaign.record(result, newly)
         campaign.finalize(fault_list.counts(), time.perf_counter() - started)
+        logger.info(
+            "replay merge done: circuit=%s tested=%d untestable=%d aborted=%d recomputed=%d",
+            campaign.circuit_name, campaign.tested, campaign.untestable,
+            campaign.aborted, self.recomputed,
+        )
         return campaign
 
     def _fallback(self, fault: GateDelayFault) -> FaultResult:
         """Serially recompute one fault the optimistic execution skipped."""
         if self._fallback_atpg is None:
+            # A *private* registry: the recomputed fault's cost record is
+            # folded into the campaign aggregates exactly like a worker's, so
+            # counting its engine work on the shared registry too would
+            # double-count it.
             self._fallback_atpg = SequentialDelayATPG(
-                self.circuit, **self.config.atpg_kwargs()
+                self.circuit,
+                metrics=MetricsRegistry() if self.metrics.enabled else None,
+                **self.config.atpg_kwargs(),
             )
         return self._fallback_atpg.target_fault(fault)
 

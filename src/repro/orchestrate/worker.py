@@ -36,6 +36,7 @@ from repro.circuit.netlist import Circuit
 from repro.core.flow import SequentialDelayATPG
 from repro.core.results import FaultResultStatus
 from repro.faults.model import GateDelayFault
+from repro.obs.metrics import MetricsRegistry
 
 
 class _ShardState:
@@ -129,15 +130,19 @@ def _process_fault(
         stats["untestable"] += 1
     else:
         stats["aborted"] += 1
-    result_queue.put(
-        {
-            "type": "fault",
-            "index": index,
-            "worker": state.worker_id,
-            "result": result.to_json(),
-            "detections": [fault.to_json() for fault in detections],
-        }
-    )
+    record = {
+        "type": "fault",
+        "index": index,
+        "worker": state.worker_id,
+        "result": result.to_json(),
+        "detections": [fault.to_json() for fault in detections],
+    }
+    if atpg.cost_log:
+        # One FaultCost per targeted fault when instrumentation is on; ship
+        # it as a sibling key so FaultResult.from_json stays strict and the
+        # replayed results remain bit-identical to a serial campaign.
+        record["cost"] = atpg.cost_log.pop().to_json()
+    result_queue.put(record)
 
 
 def _reset_inherited_signals() -> None:
@@ -172,6 +177,7 @@ def worker_main(
     result_queue,
     broadcast_queue,
     atpg_kwargs: Dict[str, object],
+    collect_metrics: bool = False,
 ) -> None:
     """Process entry: run one shard of an ATPG campaign.
 
@@ -197,6 +203,10 @@ def worker_main(
             journaled detection sets).
         atpg_kwargs: keyword arguments for
             :class:`~repro.core.flow.SequentialDelayATPG`.
+        collect_metrics: give the shard its own
+            :class:`~repro.obs.metrics.MetricsRegistry`; per-fault cost
+            records ride on the fault records and the shard's snapshot is
+            attached to the final ``done`` stats.
     """
     _reset_inherited_signals()
     random.seed(seed)
@@ -210,7 +220,8 @@ def worker_main(
         "dropped": 0,
     }
     try:
-        atpg = SequentialDelayATPG(circuit, **atpg_kwargs)
+        registry = MetricsRegistry() if collect_metrics else None
+        atpg = SequentialDelayATPG(circuit, metrics=registry, **atpg_kwargs)
         backend = atpg.backend
         scope = set(assigned) if assigned is not None else set(range(len(faults)))
         state = _ShardState(worker_id, circuit, faults, scope, backend)
@@ -237,18 +248,21 @@ def worker_main(
                 _drain_broadcasts(state, broadcast_queue)
                 _process_fault(state, atpg, index, result_queue, stats)
 
+        shard_stats = {
+            "worker": worker_id,
+            "seed": seed,
+            "assigned": len(assigned) if task_queue is None else None,
+            "absorbed_broadcasts": state.absorbed_broadcasts,
+            "seconds": round(time.perf_counter() - start, 3),
+            **stats,
+        }
+        if registry is not None:
+            shard_stats["metrics"] = registry.snapshot().to_json()
         result_queue.put(
             {
                 "type": "done",
                 "worker": worker_id,
-                "stats": {
-                    "worker": worker_id,
-                    "seed": seed,
-                    "assigned": len(assigned) if task_queue is None else None,
-                    "absorbed_broadcasts": state.absorbed_broadcasts,
-                    "seconds": round(time.perf_counter() - start, 3),
-                    **stats,
-                },
+                "stats": shard_stats,
             }
         )
     except BaseException:  # noqa: BLE001 - the coordinator must hear about any death

@@ -31,6 +31,8 @@ class Semilet:
             to drive a captured fault effect to a primary output.
         max_synchronization_frames: bound on the length of the initialising
             sequence searched for.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            threaded into both tasks (defaults to the no-op null registry).
         backend: implication/simulation backend shared by all three tasks
             (``None`` selects the process default).
     """
@@ -41,6 +43,7 @@ class Semilet:
         backtrack_limit: int = 100,
         max_propagation_frames: Optional[int] = None,
         max_synchronization_frames: Optional[int] = None,
+        metrics: Optional[object] = None,
         backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
@@ -49,12 +52,14 @@ class Semilet:
             circuit,
             max_frames=max_propagation_frames,
             backtrack_limit=backtrack_limit,
+            metrics=metrics,
             backend=backend,
         )
         self.synchronizer = Synchronizer(
             circuit,
             max_frames=max_synchronization_frames,
             backtrack_limit=backtrack_limit,
+            metrics=metrics,
             backend=backend,
         )
 

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.fausim.logic_sim import SignalValues
+from repro.obs.metrics import resolve_metrics
 from repro.tdgen.implication import CandidateFrames, create_implication_engine
 
 
@@ -70,6 +71,9 @@ class FrameJustifier:
             backtrace always lands on primary inputs before pseudo primary
             inputs (so the previous-frame goal stays as small as possible)
             regardless of this flag.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            (defaults to the no-op null registry); counts frame implication
+            sweeps.
         backend: implication engine backend used for the frame simulation
             (``None`` selects the process default).
     """
@@ -80,13 +84,16 @@ class FrameJustifier:
         backtrack_limit: int = 100,
         decide_ppis: bool = True,
         prefer_few_ppi_assignments: bool = True,
+        metrics: Optional[object] = None,
         backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.backtrack_limit = backtrack_limit
         self.decide_ppis = decide_ppis
         self.prefer_few_ppi_assignments = prefer_few_ppi_assignments
+        self.metrics = resolve_metrics(metrics)
         self._implication = create_implication_engine(circuit, backend=backend)
+        self._implication.set_metrics(self.metrics, site="justification")
         #: Search kernels of the same backend: the controlling-value
         #: backtrace (see :mod:`repro.tdgen.search`).
         self._kernels = self._implication.search_kernels()
@@ -126,6 +133,8 @@ class FrameJustifier:
         # handle travels alongside the frame view so the search kernels can
         # read the packed planes directly.
         root_frames = self._implication.frame_candidates(pi_values, ppi_values, (None,))
+        if self.metrics.enabled:
+            self.metrics.inc("repro_implication_sweeps_total", site="justification")
         frames, cursor = root_frames, 0
         frame = root_frames.frame(0)
 
@@ -205,6 +214,8 @@ class FrameJustifier:
                 pi_values, ppi_values,
                 [(name, is_pi, preferred), (name, is_pi, 1 - preferred)],
             )
+            if self.metrics.enabled:
+                self.metrics.inc("repro_implication_sweeps_total", site="justification")
             decision = _Decision(
                 name=name, is_pi=is_pi, alternatives=[1 - preferred], frames=batch
             )

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.fausim.logic_sim import SignalValues
+from repro.obs.metrics import resolve_metrics
 from repro.tdgen.implication import CandidatePairFrames, create_implication_engine
 
 PairValue = Tuple[Optional[int], Optional[int]]  # (good, faulty)
@@ -90,6 +91,9 @@ class PropagationEngine:
         backtrack_limit: per-propagation backtrack budget (paper: 100).
         frame_alternatives: how many alternative state bits to park the
             difference in before giving up on a frame.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            (defaults to the no-op null registry); counts pair-frame
+            implication sweeps and SEMILET backtracks.
         backend: implication engine backend used for the pair simulation
             (``None`` selects the process default).
     """
@@ -100,15 +104,18 @@ class PropagationEngine:
         max_frames: Optional[int] = None,
         backtrack_limit: int = 100,
         frame_alternatives: int = 3,
+        metrics: Optional[object] = None,
         backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.backtrack_limit = backtrack_limit
         self.frame_alternatives = frame_alternatives
+        self.metrics = resolve_metrics(metrics)
         if max_frames is None:
             max_frames = max(2 * len(circuit.flip_flops) + 2, 4)
         self.max_frames = min(max_frames, 64)
         self._implication = create_implication_engine(circuit, backend=backend)
+        self._implication.set_metrics(self.metrics, site="propagation")
         #: Search kernels of the same backend: potential-difference scan and
         #: the pair-frame decision backtrace (see :mod:`repro.tdgen.search`).
         self._kernels = self._implication.search_kernels()
@@ -245,6 +252,8 @@ class PropagationEngine:
         root_frames = self._implication.pair_frame_candidates(
             pi_values, good_state, faulty_state, free_ppi_values, (None,)
         )
+        if self.metrics.enabled:
+            self.metrics.inc("repro_implication_sweeps_total", site="propagation")
         frames, cursor = root_frames, 0
         pairs = root_frames.pairs(0)
 
@@ -337,6 +346,8 @@ class PropagationEngine:
                 pi_values, good_state, faulty_state, free_ppi_values,
                 [(name, is_pi, preferred), (name, is_pi, 1 - preferred)],
             )
+            if self.metrics.enabled:
+                self.metrics.inc("repro_implication_sweeps_total", site="propagation")
             stack.append(
                 _FrameDecision(name=name, is_pi=is_pi, alternatives=[1 - preferred], frames=batch)
             )

@@ -88,6 +88,25 @@ class Request:
             raise ApiError(400, f"query parameter {name!r} must be an integer") from None
 
 
+class TextResponse:
+    """A complete plain-text response (the Prometheus exposition format).
+
+    Handlers return one of these instead of a ``(status, payload)`` pair
+    when the body is not JSON; ``content_type`` defaults to the Prometheus
+    text exposition version 0.0.4.
+    """
+
+    def __init__(
+        self,
+        body: str,
+        status: int = 200,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
+        self.body = body
+        self.status = status
+        self.content_type = content_type
+
+
 class StreamResponse:
     """An EOF-terminated NDJSON streaming response.
 
@@ -174,6 +193,22 @@ async def write_json(
     await writer.drain()
 
 
+async def write_text(
+    writer: asyncio.StreamWriter, response: TextResponse
+) -> None:
+    """Send one complete plain-text response."""
+    body = response.body.encode("utf-8")
+    writer.write(
+        _head(
+            response.status,
+            f"Content-Type: {response.content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n",
+        )
+    )
+    writer.write(body)
+    await writer.drain()
+
+
 async def write_stream(
     writer: asyncio.StreamWriter, response: StreamResponse
 ) -> None:
@@ -252,6 +287,8 @@ async def handle_connection(
             return
         if isinstance(response, StreamResponse):
             await write_stream(writer, response)
+        elif isinstance(response, TextResponse):
+            await write_text(writer, response)
         else:
             status, payload = response
             await write_json(writer, status, payload)

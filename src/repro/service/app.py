@@ -12,6 +12,7 @@ Endpoints (all JSON; see ``docs/SERVICE.md`` for the full reference)::
 
     GET  /                   endpoint index
     GET  /status             daemon + queue state
+    GET  /metrics            Prometheus text exposition; ?format=json for JSON
     POST /jobs               submit a campaign            -> 202 {"job": ...}
     GET  /jobs[?status=s]    list jobs
     GET  /jobs/{id}          one job's status
@@ -35,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import heapq
+import logging
 import os
 import threading
 import time
@@ -45,11 +47,22 @@ from repro.circuit.bench import BenchParseError
 from repro.core.flow import SequentialDelayATPG
 from repro.faults.model import enumerate_delay_faults
 from repro.fausim.compile import compile_count
+from repro.obs.export import metrics_document, render_prometheus
+from repro.obs.metrics import MetricsRegistry
 from repro.orchestrate import CampaignInterrupted, CampaignOrchestrator
-from repro.service.api import ApiError, Request, Router, StreamResponse, handle_connection
+from repro.service.api import (
+    ApiError,
+    Request,
+    Router,
+    StreamResponse,
+    TextResponse,
+    handle_connection,
+)
 from repro.service.cache import NetlistCache, ResultCache, campaign_cache_key
-from repro.service.jobs import TERMINAL_STATES, Job, JobSpec, JobStore
+from repro.service.jobs import JOB_STATES, TERMINAL_STATES, Job, JobSpec, JobStore
 from repro.service.shutdown import ShutdownController
+
+logger = logging.getLogger(__name__)
 
 
 class AtpgService:
@@ -77,6 +90,10 @@ class AtpgService:
     ) -> None:
         self.host = host
         self.port = port
+        #: The service-scope registry: HTTP counters/latency, job-state
+        #: transitions, scrape-time queue gauges, plus every finished job's
+        #: absorbed campaign snapshot.
+        self.metrics = MetricsRegistry()
         self.store = JobStore(state_dir)
         self.netlists = NetlistCache(max_netlists)
         self.results = ResultCache(max_results)
@@ -109,6 +126,10 @@ class AtpgService:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._runner = asyncio.create_task(self._run_jobs(), name="repro-job-runner")
+        logger.info(
+            "service listening on %s:%d (state dir %s, %d job(s) reloaded)",
+            self.host, self.port, self.store.state_dir, len(self.store.jobs),
+        )
 
     async def run_until_shutdown(self) -> None:
         """Serve until the shutdown controller fires, then stop gracefully."""
@@ -129,6 +150,7 @@ class AtpgService:
         self.store.save()
         if self._event_signal is not None:
             self._notify_events()
+        logger.info("service stopped (%s)", self.shutdown.reason or "stop()")
 
     # ------------------------------------------------------------------ #
     # job runner
@@ -156,6 +178,11 @@ class AtpgService:
         self.store.save()
         self._notify_events()
         spec = job.spec
+        logger.info(
+            "job %s started (circuit=%s jobs=%d backend=%s)",
+            job.id, spec.circuit or spec.name or "submitted", spec.jobs, spec.backend,
+        )
+        job_registry = MetricsRegistry()
         try:
             circuit, net_digest = await self._in_executor(self._prepare_circuit, spec)
             universe = enumerate_delay_faults(circuit)
@@ -178,9 +205,14 @@ class AtpgService:
                 # Time-limited jobs run the serial flow (the partial result
                 # depends on wall time, so it is neither journaled for
                 # resume nor inserted into the result cache).
-                result = await self._in_executor(self._run_serial, spec, circuit)
+                result = await self._in_executor(
+                    self._run_serial, spec, circuit, job_registry
+                )
                 job.result_json = result.to_json()
                 job.total_faults = result.total_faults
+                job.metrics_json = metrics_document(
+                    job_registry.snapshot(), context={"job_id": job.id}
+                )
             else:
                 journal_path = self.store.journal_path(job)
                 orchestrator = CampaignOrchestrator(
@@ -190,12 +222,18 @@ class AtpgService:
                     resume=os.path.exists(journal_path),
                     on_record=functools.partial(self._on_record, job),
                     should_stop=lambda: self.shutdown.stopping or job.cancel_requested,
+                    metrics=job_registry,
                 )
                 result = await self._in_executor(
                     orchestrator.run, None, spec.max_target_faults
                 )
                 job.result_json = result.to_json()
                 job.total_faults = result.total_faults
+                job.metrics_json = metrics_document(
+                    job_registry.snapshot(),
+                    fault_costs=orchestrator.fault_costs,
+                    context={"job_id": job.id},
+                )
                 self.results.put(cache_key, job.result_json)
             job.status = "done"
             self.store.save_result(job)
@@ -208,6 +246,12 @@ class AtpgService:
         finally:
             job.finished_at = time.time()
             self.current_job = None
+            self.metrics.inc("repro_jobs_total", state=job.status)
+            self.metrics.absorb(job_registry.snapshot())
+            logger.info(
+                "job %s finished: %s (%.3fs)",
+                job.id, job.status, job.finished_at - job.started_at,
+            )
             self.store.save()
             self._notify_events()
 
@@ -217,13 +261,14 @@ class AtpgService:
         return circuit, net_digest
 
     @staticmethod
-    def _run_serial(spec: JobSpec, circuit) -> object:
+    def _run_serial(spec: JobSpec, circuit, metrics=None) -> object:
         """The serial time-limited campaign path (runs in the executor)."""
         atpg = SequentialDelayATPG(
             circuit,
             robust=spec.robust,
             local_backtrack_limit=spec.backtrack_limit,
             sequential_backtrack_limit=spec.backtrack_limit,
+            metrics=metrics,
             backend=spec.backend,
         )
         prefix = None
@@ -257,32 +302,98 @@ class AtpgService:
     # ------------------------------------------------------------------ #
     def _build_router(self) -> Router:
         router = Router()
-        router.add("GET", "/", self._handle_index)
-        router.add("GET", "/status", self._handle_status)
-        router.add("POST", "/jobs", self._handle_submit)
-        router.add("GET", "/jobs", self._handle_list)
-        router.add("GET", "/jobs/{job_id}", self._handle_job)
-        router.add("GET", "/jobs/{job_id}/result", self._handle_result)
-        router.add("GET", "/jobs/{job_id}/events", self._handle_events)
-        router.add("POST", "/jobs/{job_id}/cancel", self._handle_cancel)
-        router.add("GET", "/cache", self._handle_cache)
-        router.add("POST", "/queue/pause", self._handle_pause)
-        router.add("POST", "/queue/resume", self._handle_resume)
+        routes = (
+            ("GET", "/", self._handle_index),
+            ("GET", "/status", self._handle_status),
+            ("GET", "/metrics", self._handle_metrics),
+            ("POST", "/jobs", self._handle_submit),
+            ("GET", "/jobs", self._handle_list),
+            ("GET", "/jobs/{job_id}", self._handle_job),
+            ("GET", "/jobs/{job_id}/result", self._handle_result),
+            ("GET", "/jobs/{job_id}/events", self._handle_events),
+            ("POST", "/jobs/{job_id}/cancel", self._handle_cancel),
+            ("GET", "/cache", self._handle_cache),
+            ("POST", "/queue/pause", self._handle_pause),
+            ("POST", "/queue/resume", self._handle_resume),
+        )
+        for method, pattern, handler in routes:
+            router.add(method, pattern, self._instrumented(method, pattern, handler))
         return router
+
+    def _instrumented(self, method: str, route: str, handler):
+        """Wrap one handler with request counting, latency and an INFO log.
+
+        The route label is the registered *pattern* (``/jobs/{job_id}``, not
+        the concrete path), keeping the label cardinality fixed.
+        :class:`ApiError` is re-raised after counting so the API layer still
+        renders it as the JSON error response.
+        """
+
+        @functools.wraps(handler)
+        async def wrapped(request: Request, **captures: str):
+            start = time.perf_counter()
+            status = 500
+            try:
+                response = await handler(request, **captures)
+                if isinstance(response, (StreamResponse, TextResponse)):
+                    status = getattr(response, "status", 200)
+                else:
+                    status = response[0]
+                return response
+            except ApiError as exc:
+                status = exc.status
+                raise
+            finally:
+                elapsed = time.perf_counter() - start
+                self.metrics.inc(
+                    "repro_http_requests_total",
+                    method=method, route=route, status=str(status),
+                )
+                self.metrics.observe(
+                    "repro_http_request_seconds", elapsed, route=route
+                )
+                logger.info(
+                    "%s %s -> %d (%.1f ms)", method, request.path, status,
+                    elapsed * 1000,
+                )
+
+        return wrapped
+
+    async def _handle_metrics(self, request: Request):
+        """``GET /metrics``: Prometheus text, or JSON with ``?format=json``."""
+        self.metrics.set_gauge(
+            "repro_uptime_seconds", round(time.time() - self.started_at, 3)
+        )
+        by_state = {state: 0 for state in JOB_STATES}
+        for job in self.store.jobs.values():
+            by_state[job.status] = by_state.get(job.status, 0) + 1
+        for state, count in by_state.items():
+            self.metrics.set_gauge("repro_jobs_state", count, state=state)
+        self.metrics.set_gauge(
+            "repro_queue_depth",
+            sum(1 for _, job in self._queue if job.status == "queued"),
+        )
+        self.metrics.set_gauge("repro_queue_paused", int(self.paused))
+        snapshot = self.metrics.snapshot()
+        if request.query.get("format") == "json":
+            return 200, metrics_document(snapshot, context={"service": "repro-atpg"})
+        return TextResponse(render_prometheus(snapshot))
 
     async def _handle_index(self, request: Request):
         return 200, {
             "service": "repro-atpg",
             "endpoints": [
-                "GET /status", "POST /jobs", "GET /jobs", "GET /jobs/{id}",
-                "GET /jobs/{id}/result", "GET /jobs/{id}/events",
-                "POST /jobs/{id}/cancel", "GET /cache",
-                "POST /queue/pause", "POST /queue/resume",
+                "GET /status", "GET /metrics", "POST /jobs", "GET /jobs",
+                "GET /jobs/{id}", "GET /jobs/{id}/result",
+                "GET /jobs/{id}/events", "POST /jobs/{id}/cancel",
+                "GET /cache", "POST /queue/pause", "POST /queue/resume",
             ],
         }
 
     async def _handle_status(self, request: Request):
-        by_state: Dict[str, int] = {}
+        # Zero-filled over every lifecycle state, so dashboards can rely on
+        # the keys being present before the first job ever reaches a state.
+        by_state: Dict[str, int] = {state: 0 for state in JOB_STATES}
         for job in self.store.jobs.values():
             by_state[job.status] = by_state.get(job.status, 0) + 1
         queued = sorted(
@@ -296,6 +407,7 @@ class AtpgService:
             "jobs": by_state,
             "running": self.current_job.id if self.current_job else None,
             "queue": [job.id for job in queued],
+            "queue_depth": len(queued),
         }
 
     async def _handle_submit(self, request: Request):
@@ -338,7 +450,10 @@ class AtpgService:
         result = self.store.load_result(job)
         if result is None:
             raise ApiError(500, f"result of {job_id} is missing from the state dir")
-        return 200, {"job_id": job_id, "cache_hit": job.cache_hit, "campaign": result}
+        payload = {"job_id": job_id, "cache_hit": job.cache_hit, "campaign": result}
+        if job.metrics_json is not None:
+            payload["metrics"] = job.metrics_json
+        return 200, payload
 
     async def _handle_events(self, request: Request, job_id: str):
         job = self._require_job(job_id)

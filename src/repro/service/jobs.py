@@ -208,6 +208,10 @@ class Job:
     #: Random-prefix sequences applied so far (hybrid campaigns only).
     prefix_recorded: int = 0
     result_json: Optional[Dict[str, object]] = None
+    #: Per-job metrics document (see :func:`repro.obs.export.metrics_document`)
+    #: of the *current process's* run; in-memory only — a restarted daemon
+    #: serves the persisted result without it.
+    metrics_json: Optional[Dict[str, object]] = None
     #: Per-fault progress records of the *current process's* run (journal
     #: format); guarded by ``events_lock`` because the campaign thread
     #: appends while the event loop reads.

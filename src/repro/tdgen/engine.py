@@ -36,6 +36,7 @@ from repro.algebra.sets import (
 from repro.algebra.values import DelayValue, F, R, V0, V1
 from repro.circuit.netlist import Circuit
 from repro.faults.model import GateDelayFault
+from repro.obs.metrics import resolve_metrics
 from repro.tdgen.context import TDgenContext
 from repro.tdgen.implication import CandidateStates, create_implication_engine
 from repro.tdgen.result import LocalTest, LocalTestStatus
@@ -73,6 +74,9 @@ class TDgen:
         max_decisions: hard safety bound on the number of decisions per fault.
         prefer_po_observation: steer propagation towards primary outputs
             before pseudo primary outputs.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            (defaults to the no-op null registry); counts decisions and
+            implication sweeps per :meth:`generate` call.
         backend: implication engine backend (see
             :mod:`repro.tdgen.implication`); ``None`` selects the process
             default shared with the simulation backends.
@@ -86,6 +90,7 @@ class TDgen:
         max_decisions: int = 20000,
         prefer_po_observation: bool = True,
         context: Optional[TDgenContext] = None,
+        metrics: Optional[object] = None,
         backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
@@ -94,9 +99,11 @@ class TDgen:
         self.backtrack_limit = backtrack_limit
         self.max_decisions = max_decisions
         self.prefer_po_observation = prefer_po_observation
+        self.metrics = resolve_metrics(metrics)
         self.implication = create_implication_engine(
             circuit, backend=backend, robust=robust, context=self.context
         )
+        self.implication.set_metrics(self.metrics, site="tdgen")
         #: Search kernels of the same backend: objective selection and
         #: multiple backtrace (see :mod:`repro.tdgen.search`).
         self.search = self.implication.search_kernels()
@@ -112,6 +119,38 @@ class TDgen:
     # public API
     # ------------------------------------------------------------------ #
     def generate(
+        self,
+        fault: GateDelayFault,
+        required_ppo_values: Optional[Dict[str, int]] = None,
+        blocked_observation: Sequence[str] = (),
+        allow_ppo_observation: bool = True,
+        blocked_states: Sequence[Dict[str, int]] = (),
+        deadline: Optional[float] = None,
+    ) -> LocalTest:
+        """Generate a robust two-pattern test for ``fault`` (see :meth:`_generate`).
+
+        Thin metrics wrapper: with a live registry it counts the search's
+        decisions and implication sweeps (one batch sweep per opened
+        decision node plus the root sweep); the search itself is identical
+        either way.
+        """
+        result = self._generate(
+            fault,
+            required_ppo_values=required_ppo_values,
+            blocked_observation=blocked_observation,
+            allow_ppo_observation=allow_ppo_observation,
+            blocked_states=blocked_states,
+            deadline=deadline,
+        )
+        if self.metrics.enabled:
+            if result.decisions:
+                self.metrics.inc("repro_decisions_total", result.decisions)
+            self.metrics.inc(
+                "repro_implication_sweeps_total", result.decisions + 1, site="tdgen"
+            )
+        return result
+
+    def _generate(
         self,
         fault: GateDelayFault,
         required_ppo_values: Optional[Dict[str, int]] = None,

@@ -51,6 +51,7 @@ from repro.fausim.compile import CompiledCircuit, compile_circuit
 from repro.fausim.logic_sim import LogicSimulator, SignalValues
 from repro.fausim.numpy_sim import HAVE_NUMPY, NumpyLogicSimulator
 from repro.fausim.packed_sim import PackedLogicSimulator, PackedPlanes, WORD_BITS
+from repro.obs.metrics import NULL_REGISTRY
 from repro.tdgen.context import TDgenContext
 from repro.tdgen.simulation import (
     TwoFrameState,
@@ -129,6 +130,10 @@ class ImplicationEngine:
     """
 
     name = "abstract"
+    #: Metrics registry of the owning search engine (no-op by default).
+    metrics = NULL_REGISTRY
+    #: Sweep-counter label of the owning search engine ("" = unowned).
+    metrics_site = ""
 
     def __init__(
         self,
@@ -140,6 +145,21 @@ class ImplicationEngine:
         self.robust = robust
         self._context = context
         self._search_kernels = None
+
+    def set_metrics(self, metrics: object, site: str) -> None:
+        """Attach a metrics registry on behalf of the owning search engine.
+
+        ``site`` names the owner (``tdgen``/``propagation``/``justification``/
+        ``tdsim``) and labels the owner's sweep counters.  The engine itself
+        only forwards the registry to its event-driven set simulator (when
+        the backend has one) so wavefront evaluated/skipped gate counts are
+        collected; attaching a registry never changes implication results.
+        """
+        self.metrics = metrics
+        self.metrics_site = site
+        sets = getattr(self, "_sets", None)
+        if sets is not None:
+            sets.metrics = metrics
 
     def search_kernels(self):
         """The search kernels matching this engine's backend (cached).

@@ -39,6 +39,7 @@ from repro.circuit.netlist import Circuit, Line, LineKind
 from repro.faults.model import DelayFaultType, GateDelayFault
 from repro.fausim.backends import create_two_frame_simulator, resolve_backend
 from repro.fausim.packed_two_frame import PackedTwoFrameSimulator
+from repro.obs.metrics import resolve_metrics
 from repro.tdgen.context import TDgenContext
 from repro.tdgen.implication import create_implication_engine
 from repro.algebra.sets import has_fault_value, is_singleton, single_value
@@ -60,6 +61,9 @@ class DelayFaultSimulator:
         circuit: circuit under test.
         robust: use the robust (paper Table 1) or relaxed non-robust tables.
         context: shared precomputed circuit data (built on demand).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            (defaults to the no-op null registry); counts simulation passes,
+            stem analyses and PPO confirmations.
         backend: simulation backend name (see :mod:`repro.fausim.backends`);
             ``"packed"`` routes the exact injection simulations through the
             compiled fault-parallel evaluator, ``"reference"`` keeps the
@@ -72,11 +76,13 @@ class DelayFaultSimulator:
         circuit: Circuit,
         robust: bool = True,
         context: Optional[TDgenContext] = None,
+        metrics: Optional[object] = None,
         backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.robust = robust
         self.context = context or TDgenContext(circuit)
+        self.metrics = resolve_metrics(metrics)
         self.backend = resolve_backend(backend)
         # Every compiled tier gets a fault-parallel two-frame simulator; the
         # bigint/numpy tiers use one unbounded word so a whole candidate
@@ -90,6 +96,9 @@ class DelayFaultSimulator:
         self._implication = create_implication_engine(
             circuit, backend=self.backend, robust=robust, context=self.context
         )
+        self._implication.set_metrics(self.metrics, site="tdsim")
+        if self._packed is not None:
+            self._packed.metrics = self.metrics
 
     # ------------------------------------------------------------------ #
     def simulate(
@@ -112,6 +121,8 @@ class DelayFaultSimulator:
                 on; a fault credited through a PPO must not disturb them.
         """
         required_ppo_values = dict(required_ppo_values or {})
+        if self.metrics.enabled:
+            self.metrics.inc("repro_tdsim_passes_total")
         values: Dict[str, DelayValue]
         if self._packed is not None:
             values = self._packed.simulate(
@@ -245,6 +256,8 @@ class DelayFaultSimulator:
         one fault-parallel pass; the reference backend runs two interpreted
         passes.
         """
+        if self.metrics.enabled:
+            self.metrics.inc("repro_tdsim_stem_analyses_total")
         if self._packed is not None:
             result = self._packed.simulate(
                 pi_values,
@@ -299,6 +312,8 @@ class DelayFaultSimulator:
         """
         if not candidates:
             return []
+        if self.metrics.enabled:
+            self.metrics.inc("repro_tdsim_ppo_confirmations_total", len(candidates))
         if self._packed is None:
             return [
                 self._confirmed_through_ppo(

@@ -1,0 +1,135 @@
+"""Instrumentation must never perturb results (the hard obs constraint).
+
+Two contracts from the observability acceptance criteria:
+
+* **bit-identity** — a campaign run with a live registry produces a
+  CampaignResult fingerprint-identical to the uninstrumented run, serially
+  and under ``--jobs 4`` for every partition mode;
+* **jobs-invariant aggregates** — the deterministic counters and the cost
+  log of an orchestrated campaign are identical to the serial campaign's
+  for any worker count and partitioning, and the shard snapshots merge
+  order-independently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import SequentialDelayATPG
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.tracing import deterministic_counters, fold_cost
+from repro.orchestrate import CampaignOrchestrator, OrchestratorConfig
+from repro.orchestrate.partition import PARTITION_MODES
+
+
+def _fingerprint(campaign):
+    """Everything the bit-identical contract covers, minus wall time."""
+    row = {key: value for key, value in campaign.as_table3_row().items() if key != "time_s"}
+    per_fault = [
+        (
+            str(result.fault),
+            result.status.value,
+            result.phase.name,
+            sorted(str(fault) for fault in result.additionally_detected),
+            result.sequence.vectors if result.sequence is not None else None,
+            str(result.sequence.clock_schedule) if result.sequence is not None else None,
+        )
+        for result in campaign.fault_results
+    ]
+    return (
+        row,
+        campaign.untestable_breakdown(),
+        campaign.targeted,
+        campaign.detected_by_simulation,
+        per_fault,
+    )
+
+
+@pytest.fixture(scope="module")
+def s27_plain(s27):
+    """The uninstrumented serial reference campaign."""
+    return _fingerprint(SequentialDelayATPG(s27).run())
+
+
+@pytest.fixture(scope="module")
+def s27_serial_registry(s27):
+    """One serial metrics-on run: ``(fingerprint, registry, cost_log)``."""
+    registry = MetricsRegistry()
+    atpg = SequentialDelayATPG(s27, metrics=registry)
+    campaign = atpg.run()
+    return _fingerprint(campaign), registry, list(atpg.cost_log)
+
+
+def test_serial_campaign_identical_with_metrics_on(s27_plain, s27_serial_registry):
+    fingerprint, registry, cost_log = s27_serial_registry
+    assert fingerprint == s27_plain
+    # ... and the instrumentation actually measured the campaign.
+    assert registry.counter_sum("repro_faults_total") == len(cost_log) > 0
+    assert registry.counter_sum("repro_decisions_total") > 0
+
+
+@pytest.mark.parametrize("partition", PARTITION_MODES)
+def test_jobs4_campaign_identical_with_metrics_on(partition, s27, s27_plain):
+    orchestrator = CampaignOrchestrator(
+        s27,
+        config=OrchestratorConfig(jobs=4, partition=partition, collect_metrics=True),
+    )
+    campaign = orchestrator.run()
+    assert _fingerprint(campaign) == s27_plain, partition
+
+
+@pytest.mark.parametrize("jobs", (2, 3))
+def test_orchestrated_aggregates_match_serial(jobs, s27, s27_serial_registry):
+    _, serial_registry, serial_costs = s27_serial_registry
+    orchestrator = CampaignOrchestrator(
+        s27, config=OrchestratorConfig(jobs=jobs, collect_metrics=True)
+    )
+    orchestrator.run()
+    assert deterministic_counters(orchestrator.metrics) == deterministic_counters(
+        serial_registry
+    )
+    # The replayed cost log matches the serial one field-for-field except
+    # wall time (seconds), in the same fault-enumeration order.
+    def stripped(costs):
+        return [
+            {k: v for k, v in cost.to_json().items() if k != "seconds"}
+            for cost in costs
+        ]
+
+    assert stripped(orchestrator.fault_costs) == stripped(serial_costs)
+
+
+def test_shard_snapshots_merge_order_independently(s27):
+    orchestrator = CampaignOrchestrator(
+        s27, config=OrchestratorConfig(jobs=4, collect_metrics=True)
+    )
+    orchestrator.run()
+    assert orchestrator.shard_metrics is not None
+    snapshots = orchestrator._worker_snapshots
+    assert len(snapshots) >= 2
+    forward = MetricsSnapshot.merge_all(snapshots).to_json()
+    backward = MetricsSnapshot.merge_all(reversed(snapshots)).to_json()
+    assert forward == backward == orchestrator.shard_metrics.to_json()
+
+
+def test_orchestrated_without_collect_metrics_stays_null(s27, s27_plain):
+    orchestrator = CampaignOrchestrator(s27, config=OrchestratorConfig(jobs=2))
+    campaign = orchestrator.run()
+    assert _fingerprint(campaign) == s27_plain
+    assert orchestrator.metrics.enabled is False
+    assert orchestrator.fault_costs == []
+    assert orchestrator.shard_metrics is None
+
+
+def test_fold_of_shard_costs_equals_orchestrator_registry(s27):
+    """The orchestrator's registry is exactly the fold of its cost log."""
+    orchestrator = CampaignOrchestrator(
+        s27, config=OrchestratorConfig(jobs=2, collect_metrics=True)
+    )
+    orchestrator.run()
+    folded = MetricsRegistry()
+    for cost in orchestrator.fault_costs:
+        fold_cost(folded, cost)
+    assert deterministic_counters(folded) == deterministic_counters(
+        orchestrator.metrics
+    )

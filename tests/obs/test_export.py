@@ -1,0 +1,117 @@
+"""Tests of the snapshot exporters (:mod:`repro.obs.export`).
+
+``render_prometheus`` must produce structurally valid text exposition
+(version 0.0.4): one ``# HELP``/``# TYPE`` pair per family, every sample
+line parseable, histogram buckets cumulative and ``+Inf``-terminated.
+``metrics_document`` must wrap a snapshot into the versioned JSON document
+the CLI writes and the service serves.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.export import metrics_document, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import FaultCost
+
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9+][0-9eE.+-]*$"
+)
+
+
+def _populated_registry():
+    """A registry holding every metric kind at once."""
+    registry = MetricsRegistry()
+    registry.inc("repro_faults_total", 3, status="tested")
+    registry.inc("repro_faults_total", 1, status="aborted")
+    registry.inc("repro_decisions_total", 42)
+    registry.observe("repro_phase_seconds", 0.5, phase="tdgen")
+    registry.observe_value("repro_fault_seconds", 0.02)
+    registry.observe_value("repro_fault_seconds", 99.0)
+    registry.set_gauge("repro_queue_depth", 2)
+    return registry
+
+
+def test_every_line_is_a_comment_or_a_valid_sample():
+    text = render_prometheus(_populated_registry().snapshot())
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").split("\n"):
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert _SAMPLE_LINE.match(line), line
+
+
+def test_one_help_and_type_pair_per_family():
+    text = render_prometheus(_populated_registry().snapshot())
+    helps = [line.split()[2] for line in text.splitlines() if line.startswith("# HELP")]
+    types = [line.split()[2] for line in text.splitlines() if line.startswith("# TYPE")]
+    assert len(helps) == len(set(helps))
+    assert helps == types
+    assert "repro_faults_total" in helps
+    assert "repro_fault_seconds" in helps
+
+
+def test_counter_samples_carry_their_labels():
+    text = render_prometheus(_populated_registry().snapshot())
+    assert 'repro_faults_total{status="tested"} 3' in text
+    assert 'repro_faults_total{status="aborted"} 1' in text
+    assert "repro_decisions_total 42" in text
+
+
+def test_timers_render_as_summaries():
+    text = render_prometheus(_populated_registry().snapshot())
+    assert "# TYPE repro_phase_seconds summary" in text
+    assert 'repro_phase_seconds_count{phase="tdgen"} 1' in text
+    assert 'repro_phase_seconds_sum{phase="tdgen"} 0.5' in text
+
+
+def test_histogram_buckets_are_cumulative_and_inf_terminated():
+    text = render_prometheus(_populated_registry().snapshot())
+    bucket_lines = [
+        line for line in text.splitlines()
+        if line.startswith("repro_fault_seconds_bucket")
+    ]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+    assert counts == sorted(counts), "buckets must be cumulative"
+    assert bucket_lines[-1].startswith('repro_fault_seconds_bucket{le="+Inf"}')
+    # +Inf equals the total count: the 99.0 sample lands only there.
+    assert counts[-1] == 2
+    assert counts[-2] == 1
+    assert "repro_fault_seconds_count 2" in text
+
+
+def test_gauges_render_last_with_gauge_type():
+    text = render_prometheus(_populated_registry().snapshot())
+    assert "# TYPE repro_queue_depth gauge" in text
+    assert "repro_queue_depth 2" in text
+
+
+def test_empty_snapshot_renders_empty_document():
+    registry = MetricsRegistry()
+    assert render_prometheus(registry.snapshot()) == "\n"
+
+
+def test_metrics_document_shape_and_round_trip():
+    registry = _populated_registry()
+    cost = FaultCost(
+        fault="G0 StR", status="tested", phase="fault simulation", seconds=0.01,
+        attempts=1, local_backtracks=2, sequential_backtracks=3, decisions=4,
+        implication_sweeps=5, wavefront_skipped=6, words_simulated=7,
+        engine="packed",
+    )
+    document = metrics_document(
+        registry.snapshot(), fault_costs=[cost], context={"circuit": "s27"}
+    )
+    assert document["version"] == 1
+    assert document["context"] == {"circuit": "s27"}
+    assert document["fault_costs"] == [cost.to_json()]
+    assert document["metrics"]["counters"]['repro_faults_total{status="tested"}'] == 3
+    json.dumps(document)  # must be JSON-serialisable as-is
+
+
+def test_metrics_document_omits_empty_context():
+    document = metrics_document(MetricsRegistry().snapshot())
+    assert "context" not in document
+    assert document["fault_costs"] == []

@@ -1,0 +1,230 @@
+"""Unit tests of the metric primitives (:mod:`repro.obs.metrics`).
+
+Covers the registry API (counters, timers, histograms, gauges, the ``timed``
+context manager), the null registry's no-op contract, thread safety under
+concurrent writers, snapshot JSON round-trips, and — the property the
+orchestrator's shard merge leans on — merge commutativity and associativity
+across arbitrary shard orderings.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRIC_HELP,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    metric_key,
+    resolve_metrics,
+    split_metric_key,
+)
+
+
+# --------------------------------------------------------------------- #
+# keys
+# --------------------------------------------------------------------- #
+def test_metric_key_without_labels_is_the_name():
+    assert metric_key("repro_faults_total") == "repro_faults_total"
+    assert metric_key("repro_faults_total", {}) == "repro_faults_total"
+
+
+def test_metric_key_sorts_labels():
+    key = metric_key("m", {"b": 2, "a": "x"})
+    assert key == 'm{a="x",b="2"}'
+    assert key == metric_key("m", {"a": "x", "b": 2})
+
+
+def test_split_metric_key_round_trips():
+    for labels in ({}, {"status": "tested"}, {"phase": "local test generation", "z": "1"}):
+        key = metric_key("repro_faults_total", labels)
+        name, parsed = split_metric_key(key)
+        assert name == "repro_faults_total"
+        assert dict(parsed) == {k: str(v) for k, v in labels.items()}
+
+
+# --------------------------------------------------------------------- #
+# registry API
+# --------------------------------------------------------------------- #
+def test_counters_accumulate_per_label_set():
+    registry = MetricsRegistry()
+    registry.inc("repro_faults_total", status="tested")
+    registry.inc("repro_faults_total", 2, status="tested")
+    registry.inc("repro_faults_total", status="aborted")
+    registry.inc("repro_decisions_total", 10)
+    assert registry.counter_value("repro_faults_total", status="tested") == 3
+    assert registry.counter_value("repro_faults_total", status="aborted") == 1
+    assert registry.counter_value("repro_faults_total", status="untestable") == 0
+    assert registry.counter_sum("repro_faults_total") == 4
+    assert registry.counter_sum("repro_decisions_total") == 10
+
+
+def test_counter_sum_ignores_prefix_siblings():
+    registry = MetricsRegistry()
+    registry.inc("repro_faults_total", 5)
+    registry.inc("repro_faults_total_extra", 100)
+    assert registry.counter_sum("repro_faults_total") == 5
+
+
+def test_timers_record_count_and_sum():
+    registry = MetricsRegistry()
+    registry.observe("repro_phase_seconds", 0.5, phase="tdgen")
+    registry.observe("repro_phase_seconds", 0.25, phase="tdgen")
+    snapshot = registry.snapshot()
+    timer = snapshot.timers['repro_phase_seconds{phase="tdgen"}']
+    assert timer["count"] == 2
+    assert timer["sum"] == pytest.approx(0.75)
+
+
+def test_timed_context_manager_observes_once():
+    registry = MetricsRegistry()
+    with registry.timed("repro_phase_seconds", phase="verify"):
+        pass
+    timer = registry.snapshot().timers['repro_phase_seconds{phase="verify"}']
+    assert timer["count"] == 1
+    assert timer["sum"] >= 0
+
+
+def test_histogram_buckets_and_totals():
+    registry = MetricsRegistry()
+    registry.observe_value("repro_fault_seconds", 0.0004)  # first bucket
+    registry.observe_value("repro_fault_seconds", 0.02)    # <= 0.05
+    registry.observe_value("repro_fault_seconds", 99.0)    # above every bound
+    hist = registry.snapshot().histograms["repro_fault_seconds"]
+    assert hist["buckets"] == list(DEFAULT_BUCKETS)
+    assert sum(hist["counts"]) == 2  # the overflow sample is count-only
+    assert hist["count"] == 3
+    assert hist["sum"] == pytest.approx(0.0004 + 0.02 + 99.0)
+    assert hist["counts"][0] == 1
+    assert hist["counts"][DEFAULT_BUCKETS.index(0.05)] == 1
+
+
+def test_gauges_keep_the_last_value():
+    registry = MetricsRegistry()
+    registry.set_gauge("repro_queue_depth", 3)
+    registry.set_gauge("repro_queue_depth", 1)
+    assert registry.snapshot().gauges["repro_queue_depth"] == 1
+
+
+def test_thread_safety_under_concurrent_writers():
+    registry = MetricsRegistry()
+
+    def hammer():
+        for _ in range(2000):
+            registry.inc("repro_decisions_total")
+            registry.observe("repro_phase_seconds", 0.001, phase="tdgen")
+            registry.observe_value("repro_fault_seconds", 0.01)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    snapshot = registry.snapshot()
+    assert snapshot.counters["repro_decisions_total"] == 16000
+    assert snapshot.timers['repro_phase_seconds{phase="tdgen"}']["count"] == 16000
+    assert snapshot.histograms["repro_fault_seconds"]["count"] == 16000
+
+
+# --------------------------------------------------------------------- #
+# null registry
+# --------------------------------------------------------------------- #
+def test_null_registry_is_disabled_and_inert():
+    assert NULL_REGISTRY.enabled is False
+    assert MetricsRegistry.enabled is True
+    NULL_REGISTRY.inc("repro_faults_total", status="tested")
+    NULL_REGISTRY.observe("repro_phase_seconds", 1.0)
+    NULL_REGISTRY.observe_value("repro_fault_seconds", 1.0)
+    NULL_REGISTRY.set_gauge("repro_queue_depth", 5)
+    NULL_REGISTRY.absorb(MetricsSnapshot(counters={"x": 1}))
+    with NULL_REGISTRY.timed("repro_phase_seconds", phase="campaign"):
+        pass
+    assert NULL_REGISTRY.counter_value("repro_faults_total", status="tested") == 0
+    assert NULL_REGISTRY.counter_sum("repro_faults_total") == 0
+    empty = NULL_REGISTRY.snapshot()
+    assert not empty.counters and not empty.timers
+    assert not empty.histograms and not empty.gauges
+
+
+def test_null_timed_returns_the_shared_instance():
+    assert NULL_REGISTRY.timed("a") is NULL_REGISTRY.timed("b")
+
+
+def test_resolve_metrics():
+    assert resolve_metrics(None) is NULL_REGISTRY
+    registry = MetricsRegistry()
+    assert resolve_metrics(registry) is registry
+    null = NullRegistry()
+    assert resolve_metrics(null) is null
+
+
+# --------------------------------------------------------------------- #
+# snapshots: round-trip, merge, absorb
+# --------------------------------------------------------------------- #
+def _sample_registry(seed):
+    """A registry whose contents depend deterministically on ``seed``."""
+    registry = MetricsRegistry()
+    registry.inc("repro_faults_total", seed + 1, status="tested")
+    registry.inc("repro_decisions_total", seed * 10)
+    # Dyadic values: float sums of these are exact, so merge order cannot
+    # introduce rounding differences into the order-independence check.
+    registry.observe("repro_phase_seconds", 0.125 * (seed + 1), phase="tdgen")
+    registry.observe_value("repro_fault_seconds", 0.03125 * (seed + 1))
+    return registry
+
+
+def test_snapshot_json_round_trip():
+    snapshot = _sample_registry(3).snapshot()
+    snapshot.gauges["repro_queue_depth"] = 2
+    payload = json.loads(json.dumps(snapshot.to_json()))
+    rebuilt = MetricsSnapshot.from_json(payload)
+    assert rebuilt.to_json() == snapshot.to_json()
+
+
+def test_merge_is_commutative_and_associative():
+    snapshots = [_sample_registry(seed).snapshot() for seed in range(4)]
+    reference = MetricsSnapshot.merge_all(snapshots).to_json()
+    for ordering in itertools.permutations(range(4)):
+        merged = MetricsSnapshot.merge_all(snapshots[i] for i in ordering)
+        assert merged.to_json() == reference, ordering
+    # Explicit associativity: (a + b) + c == a + (b + c).
+    a, b, c = snapshots[:3]
+    assert a.merge(b).merge(c).to_json() == a.merge(b.merge(c)).to_json()
+
+
+def test_merge_does_not_mutate_its_inputs():
+    a = _sample_registry(1).snapshot()
+    b = _sample_registry(2).snapshot()
+    before = (a.to_json(), b.to_json())
+    a.merge(b)
+    assert (a.to_json(), b.to_json()) == before
+
+
+def test_merge_rejects_mismatched_histogram_buckets():
+    a = MetricsRegistry()
+    a.observe_value("h", 1.0, buckets=(1.0, 2.0))
+    b = MetricsRegistry()
+    b.observe_value("h", 1.0, buckets=(1.0, 5.0))
+    with pytest.raises(ValueError, match="mismatched bucket bounds"):
+        a.snapshot().merge(b.snapshot())
+
+
+def test_absorb_equals_merge():
+    registry = _sample_registry(0)
+    incoming = _sample_registry(5).snapshot()
+    expected = registry.snapshot().merge(incoming).to_json()
+    registry.absorb(incoming)
+    assert registry.snapshot().to_json() == expected
+
+
+def test_metric_help_names_follow_prometheus_conventions():
+    for name in METRIC_HELP:
+        assert name.startswith("repro_"), name
+        assert " " not in name

@@ -8,6 +8,7 @@ call :func:`repro.__main__.main` in-process and inspect stdout.
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -178,3 +179,89 @@ def test_module_entry_point_subprocess():
     )
     assert result.returncode == 0
     assert "s27" in result.stdout
+
+
+# --------------------------------------------------------------------- #
+# observability flags: --profile, --metrics-out, --verbose/--quiet
+# --------------------------------------------------------------------- #
+def test_campaign_profile_on_s27(capsys):
+    code, out = run_cli(capsys, "campaign", "--circuits", "s27", "--profile")
+    assert code == 0
+    assert "Cost breakdown — s27" in out
+    assert "Time per phase" in out
+    assert "most expensive faults" in out
+    # The deterministic campaign phases all show up in the phase table.
+    for phase in ("campaign", "tdgen", "tdsim"):
+        assert phase in out
+
+
+def test_campaign_profile_on_surrogate(capsys):
+    code, out = run_cli(
+        capsys, "campaign", "--circuits", "s344", "--scale", "0.2", "--profile"
+    )
+    assert code == 0
+    assert "Cost breakdown — s344" in out
+    assert "Time per phase" in out
+
+
+def test_campaign_metrics_out_writes_the_document(tmp_path, capsys):
+    path = tmp_path / "metrics.json"
+    code, out = run_cli(
+        capsys, "campaign", "--circuits", "s27", "--metrics-out", str(path)
+    )
+    assert code == 0
+    assert f"metrics written to {path}" in out
+    document = json.loads(path.read_text())
+    assert document["version"] == 1
+    assert document["context"]["command"] == "campaign"
+    assert document["context"]["circuits"] == ["s27"]
+    assert len(document["fault_costs"]) > 0
+    counters = document["metrics"]["counters"]
+    assert sum(
+        value for key, value in counters.items()
+        if key.startswith("repro_faults_total")
+    ) == len(document["fault_costs"])
+
+
+def test_campaign_metrics_out_with_jobs(tmp_path, capsys):
+    """The orchestrated path produces the same document shape as serial."""
+    serial_path = tmp_path / "serial.json"
+    jobs_path = tmp_path / "jobs.json"
+    run_cli(capsys, "campaign", "--circuits", "s27", "--metrics-out", str(serial_path))
+    run_cli(
+        capsys, "campaign", "--circuits", "s27", "--jobs", "2",
+        "--metrics-out", str(jobs_path),
+    )
+    serial = json.loads(serial_path.read_text())
+    parallel = json.loads(jobs_path.read_text())
+
+    def stripped_costs(document):
+        return [
+            {k: v for k, v in cost.items() if k != "seconds"}
+            for cost in document["fault_costs"]
+        ]
+
+    assert stripped_costs(parallel) == stripped_costs(serial)
+
+
+def test_campaign_row_unchanged_by_profile(capsys):
+    plain = run_cli(capsys, "campaign", "--circuits", "s27")[1]
+    profiled = run_cli(capsys, "campaign", "--circuits", "s27", "--profile")[1]
+    row = next(line for line in plain.splitlines() if line.startswith("s27"))
+    profiled_row = next(
+        line for line in profiled.splitlines() if line.startswith("s27")
+    )
+    assert _without_timings(row) == _without_timings(profiled_row)
+
+
+def test_verbose_and_quiet_are_mutually_exclusive(capsys):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--circuits", "s27", "--verbose", "--quiet"])
+
+
+def test_verbose_flag_emits_info_logs(capsys):
+    code = main(["campaign", "--circuits", "s27", "--verbose"])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "campaign start: circuit=s27" in err
+    assert "campaign done: circuit=s27" in err
