@@ -14,6 +14,13 @@ Subcommands:
     Run the ATPG daemon: an HTTP/JSON API with a priority job queue, warm
     compiled-netlist and result caches, and graceful checkpoint/resume
     shutdown (see ``docs/SERVICE.md``).
+``store``
+    Manage the persistent campaign store (``docs/STORE.md``): ``ingest``
+    imports JSONL checkpoint journals, ``query`` answers cross-campaign
+    questions (coverage trends, cost outliers, backend ablations) as JSON,
+    ``report`` prints a human-readable summary.  ``campaign --store`` feeds
+    finished runs into a store and ``campaign --incremental-from`` re-runs
+    only the faults a netlist edit can affect.
 """
 
 from __future__ import annotations
@@ -204,6 +211,30 @@ def _add_campaign_parser(subparsers, parents) -> None:
             "search-effort attribution, and the abort-reason histogram"
         ),
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "ingest every finished campaign into this persistent campaign "
+            "store (a sqlite3 file, created on first use; see docs/STORE.md) "
+            "so later runs can query it or resume from it incrementally"
+        ),
+    )
+    parser.add_argument(
+        "--incremental-from",
+        default=None,
+        metavar="PATH",
+        help=(
+            "incremental re-run: locate the latest stored campaign for the "
+            "same circuit name and settings in this store, re-target only "
+            "the faults inside the netlist edit's influence cone and reuse "
+            "every other stored outcome — the result is bit-identical to a "
+            "from-scratch run on the edited netlist (serial only; not "
+            "compatible with --jobs > 1, --rpg-prefix, --journal/--resume "
+            "or --time-limit)"
+        ),
+    )
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
@@ -215,10 +246,30 @@ def _run_campaign(args: argparse.Namespace) -> int:
     if orchestrated and args.time_limit is not None:
         print("error: --time-limit is not supported with --jobs/--journal", file=sys.stderr)
         return 2
+    if args.incremental_from is not None:
+        # The incremental engine *is* the serial campaign loop with a memo;
+        # every knob that changes which faults the loop visits (sharding,
+        # the random prefix, journal replay, wall-clock cuts) is rejected
+        # instead of silently breaking the bit-identity contract.
+        for flag, active in (
+            ("--jobs > 1", args.jobs > 1),
+            ("--rpg-prefix", args.rpg_prefix),
+            ("--journal/--resume", journal_path is not None),
+            ("--time-limit", args.time_limit is not None),
+        ):
+            if active:
+                print(
+                    f"error: --incremental-from is not supported with {flag}",
+                    file=sys.stderr,
+                )
+                return 2
 
     collect = args.profile or args.metrics_out is not None
     campaigns = []
     shard_reports = []
+    #: One ``(circuit, summary dict)`` pair per incremental re-run.
+    incremental_reports = []
+    store_notes = []
     #: One ``(circuit, snapshot, cost records)`` triple per campaign when
     #: instrumentation is on.
     profiles = []
@@ -230,19 +281,37 @@ def _run_campaign(args: argparse.Namespace) -> int:
             circuit = parse_bench_file(name)
         else:
             circuit = load_circuit(name, scale=args.scale)
-        if orchestrated:
-            config = OrchestratorConfig(
-                jobs=args.jobs,
-                partition=args.partition,
-                campaign_seed=args.seed,
-                robust=not args.non_robust,
-                local_backtrack_limit=args.backtrack_limit,
-                sequential_backtrack_limit=args.backtrack_limit,
-                backend=args.backend,
-                rpg_prefix=args.rpg_prefix,
-                rpg_budget=args.rpg_budget,
-                rpg_window=args.rpg_window,
-            )
+        config = OrchestratorConfig(
+            jobs=args.jobs,
+            partition=args.partition,
+            campaign_seed=args.seed,
+            robust=not args.non_robust,
+            local_backtrack_limit=args.backtrack_limit,
+            sequential_backtrack_limit=args.backtrack_limit,
+            backend=args.backend,
+            rpg_prefix=args.rpg_prefix,
+            rpg_budget=args.rpg_budget,
+            rpg_window=args.rpg_window,
+        )
+        if args.incremental_from is not None:
+            from repro.store import CampaignStore, run_incremental
+
+            try:
+                with CampaignStore(args.incremental_from) as base_store:
+                    outcome = run_incremental(
+                        circuit,
+                        base_store,
+                        config,
+                        max_target_faults=max_faults,
+                        metrics=registry,
+                    )
+            except (LookupError, ValueError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            campaign = outcome.result
+            costs = list(outcome.costs)
+            incremental_reports.append((campaign.circuit_name, outcome.summary()))
+        elif orchestrated:
             orchestrator = CampaignOrchestrator(
                 circuit,
                 config=config,
@@ -263,33 +332,50 @@ def _run_campaign(args: argparse.Namespace) -> int:
         else:
             atpg = SequentialDelayATPG(
                 circuit,
-                robust=not args.non_robust,
-                local_backtrack_limit=args.backtrack_limit,
-                sequential_backtrack_limit=args.backtrack_limit,
                 metrics=registry,
-                backend=args.backend,
+                **config.atpg_kwargs(),
             )
-            prefix = None
-            if args.rpg_prefix:
-                from repro.core.prefilter import PrefixConfig
-
-                prefix = PrefixConfig(
-                    budget=args.rpg_budget,
-                    window=args.rpg_window,
-                    seed=args.seed,
-                )
             campaign = atpg.run(
                 max_target_faults=max_faults,
                 time_limit_s=args.time_limit,
-                prefix=prefix,
+                prefix=config.prefix_config(),
             )
             costs = list(atpg.cost_log)
+        if args.store is not None:
+            from repro.store import CampaignStore
+
+            with CampaignStore(args.store) as store:
+                campaign_id = store.ingest_result(
+                    campaign,
+                    circuit=circuit,
+                    config=config,
+                    costs=costs,
+                    source="cli",
+                )
+            store_notes.append(
+                f"stored {campaign.circuit_name} as campaign #{campaign_id} in {args.store}"
+            )
         campaigns.append(campaign)
         if registry is not None:
             profiles.append((campaign.circuit_name, registry.snapshot(), costs))
     print(format_campaign_table(campaigns, title="Gate delay fault ATPG results"))
     print()
     print(format_untestable_breakdown(campaigns))
+    for name, summary in incremental_reports:
+        print()
+        print(
+            f"Incremental re-run — {name}: base campaign #{summary['base_campaign_id']}, "
+            f"delta {summary['changed_signals']} changed "
+            f"+ {summary['observability_signals']} observability "
+            f"+ {summary['removed_signals']} removed, "
+            f"cone {summary['cone_size']} signal(s); "
+            f"kept {summary['kept']}, invalidated {summary['invalidated']}, "
+            f"reused {summary['reused']}, retargeted {summary['retargeted']} "
+            f"(stored sequences gross-cover {summary['residue_gross_covered']} "
+            "residue fault(s))"
+        )
+    for note in store_notes:
+        print(note)
     if any(campaign.prefix_applied for campaign in campaigns):
         print()
         print(format_prefix_summary(campaigns))
@@ -377,6 +463,163 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_store_parser(subparsers, parents) -> None:
+    parser = subparsers.add_parser(
+        "store",
+        help="manage the persistent campaign store (see docs/STORE.md)",
+    )
+    store_sub = parser.add_subparsers(dest="store_command", required=True)
+
+    ingest = store_sub.add_parser(
+        "ingest",
+        help="import a JSONL checkpoint journal into a store",
+        parents=parents,
+    )
+    ingest.add_argument("--store", required=True, metavar="PATH", help="store file")
+    ingest.add_argument(
+        "--journal", required=True, metavar="PATH", help="JSONL journal to import"
+    )
+    ingest.add_argument(
+        "--circuits",
+        default=None,
+        help=(
+            "optional circuit (benchmark name or .bench path) to validate "
+            "the journal digest against and to store as the incremental "
+            "base netlist; without it the journal imports for analytics "
+            "only and cannot seed --incremental-from"
+        ),
+    )
+    ingest.add_argument("--scale", type=float, default=1.0, help="surrogate size scale")
+    ingest.add_argument(
+        "--backtrack-limit", type=int, default=100,
+        help="abort limit the journaled campaign ran under (for the digest)",
+    )
+    ingest.add_argument(
+        "--non-robust", action="store_true",
+        help="the journaled campaign used the non-robust model (for the digest)",
+    )
+    ingest.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed the journaled campaign ran under (for the digest)",
+    )
+
+    query = store_sub.add_parser(
+        "query",
+        help="answer a cross-campaign question as JSON",
+        parents=parents,
+    )
+    query.add_argument("--store", required=True, metavar="PATH", help="store file")
+    query.add_argument(
+        "what",
+        choices=("campaigns", "coverage", "outliers", "ablation"),
+        help=(
+            "campaigns: one summary row per stored campaign; coverage: fault "
+            "coverage per campaign over ingest order; outliers: the most "
+            "expensive faults by recorded seconds; ablation: per-backend "
+            "campaign statistics"
+        ),
+    )
+    query.add_argument("--circuit", default=None, help="restrict to one circuit")
+    query.add_argument(
+        "--campaign-id", type=int, default=None, help="restrict outliers to one campaign"
+    )
+    query.add_argument(
+        "--limit", type=int, default=10, help="row cap for outliers (default: 10)"
+    )
+
+    report = store_sub.add_parser(
+        "report",
+        help="print a human-readable store summary",
+        parents=parents,
+    )
+    report.add_argument("--store", required=True, metavar="PATH", help="store file")
+    report.add_argument("--circuit", default=None, help="restrict to one circuit")
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    from repro.store import CampaignStore
+
+    if args.store_command == "ingest":
+        circuit = None
+        config = None
+        if args.circuits:
+            if args.circuits.endswith(".bench"):
+                circuit = parse_bench_file(args.circuits)
+            else:
+                circuit = load_circuit(args.circuits, scale=args.scale)
+            config = OrchestratorConfig(
+                jobs=1,
+                campaign_seed=args.seed,
+                robust=not args.non_robust,
+                local_backtrack_limit=args.backtrack_limit,
+                sequential_backtrack_limit=args.backtrack_limit,
+            )
+        try:
+            with CampaignStore(args.store) as store:
+                ids = store.ingest_journal(args.journal, circuit=circuit, config=config)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        listed = ", ".join(f"#{campaign_id}" for campaign_id in ids)
+        print(f"ingested {len(ids)} campaign(s) from {args.journal} into {args.store}: {listed}")
+        return 0
+
+    if args.store_command == "query":
+        with CampaignStore(args.store) as store:
+            if args.what == "campaigns":
+                rows = store.campaigns(args.circuit)
+            elif args.what == "coverage":
+                rows = store.coverage_trend(args.circuit)
+            elif args.what == "outliers":
+                rows = store.cost_outliers(args.campaign_id, limit=args.limit)
+            else:
+                rows = store.backend_ablation(args.circuit)
+        print(json.dumps(rows, indent=1, sort_keys=True))
+        return 0
+
+    with CampaignStore(args.store) as store:
+        trend = store.coverage_trend(args.circuit)
+        outliers = store.cost_outliers(limit=5)
+        ablation = store.backend_ablation(args.circuit)
+    print(f"Campaign store — {args.store}")
+    print()
+    header = (
+        f"{'id':>4} {'circuit':>8} {'backend':>9} {'faults':>7} {'tested':>7} "
+        f"{'coverage':>9} {'cpu[s]':>8} {'source':>8} {'partial':>8}"
+    )
+    print(header)
+    for row in trend:
+        print(
+            f"{row['campaign_id']:>4} {row['circuit']:>8} "
+            f"{row['backend'] or 'default':>9} {row['total_faults']:>7} "
+            f"{row['tested']:>7} {row['coverage']:>9.3f} "
+            f"{row['cpu_seconds']:>8.2f} {row['source']:>8} "
+            f"{'yes' if row['partial'] else 'no':>8}"
+        )
+    if ablation:
+        print()
+        print("Backend ablation (mean over stored campaigns):")
+        for row in ablation:
+            coverage = row["mean_coverage"]
+            coverage_text = (
+                f", mean coverage {coverage:.3f}" if coverage is not None else ""
+            )
+            print(
+                f"  {row['backend']:>9}: {row['campaigns']} campaign(s), "
+                f"mean cpu {row['mean_cpu_seconds']:.2f}s{coverage_text}"
+            )
+    if outliers:
+        print()
+        print("Most expensive faults on record:")
+        for row in outliers:
+            print(
+                f"  #{row['campaign_id']} {row['circuit']} {row['fault']}: "
+                f"{row['seconds']:.4f}s ({row['status']}, {row['decisions']} "
+                f"decision(s), {row['engine']})"
+            )
+    return 0
+
+
 def _run_tables(_: argparse.Namespace) -> int:
     print("Table 1 — AND gate")
     print(format_truth_table(GateType.AND))
@@ -407,6 +650,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     logging_parent = [_logging_parser()]
     _add_campaign_parser(subparsers, logging_parent)
     _add_serve_parser(subparsers, logging_parent)
+    _add_store_parser(subparsers, logging_parent)
     subparsers.add_parser(
         "tables",
         help="print the algebra truth tables (Tables 1 and 2)",
@@ -426,6 +670,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # A daemon logs its request/lifecycle lines at INFO by default.
         _configure_logging(args, default_level=logging.INFO)
         return _run_serve(args)
+    if args.command == "store":
+        _configure_logging(args)
+        return _run_store(args)
     _configure_logging(args)
     if args.command == "tables":
         return _run_tables(args)

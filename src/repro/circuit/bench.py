@@ -17,6 +17,7 @@ definitions (checked by :func:`repro.circuit.validate.validate_circuit`).
 
 from __future__ import annotations
 
+import hashlib
 import re
 from pathlib import Path
 from typing import Iterable, List, Union
@@ -132,3 +133,17 @@ def _check_references(circuit: Circuit) -> None:
     for po in circuit.primary_outputs:
         if po not in circuit:
             raise BenchParseError(f"primary output {po!r} is never driven")
+
+
+def netlist_digest(circuit: Circuit) -> str:
+    """Fingerprint of a netlist: SHA-256 over its canonical ``.bench`` text.
+
+    The circuit *name* is deliberately excluded — the same netlist submitted
+    under two names is still the same compile work and the same campaign
+    (fault sites are named after signals, not after the circuit).  The
+    service caches (:mod:`repro.service.cache`) and the campaign store
+    (:mod:`repro.store`) both key on this digest, so a netlist stored by one
+    layer is recognised by the other.
+    """
+    lines = [line for line in write_bench(circuit).splitlines() if not line.startswith("#")]
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()[:16]

@@ -272,6 +272,20 @@ class CampaignResult:
             "prefix_sequences": [seq.to_json() for seq in self.prefix_sequences],
         }
 
+    def fingerprint(self) -> Dict[str, object]:
+        """The deterministic view of the campaign: :meth:`to_json` minus timing.
+
+        ``cpu_seconds`` is the only wall-clock-dependent field; everything
+        else is a pure function of (circuit, settings, fault universe).  Two
+        campaigns are *bit-identical* when their fingerprints compare equal —
+        the contract pinned by the orchestrator's replay merge, the backend
+        differential tests and the incremental re-run engine
+        (:mod:`repro.store.incremental`).
+        """
+        payload = self.to_json()
+        payload.pop("cpu_seconds", None)
+        return payload
+
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "CampaignResult":
         """Rebuild a :class:`CampaignResult` from its :meth:`to_json` form."""

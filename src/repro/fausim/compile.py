@@ -171,3 +171,79 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
     )
     circuit._compiled_cache = compiled
     return compiled
+
+
+@dataclasses.dataclass(frozen=True)
+class NetlistDelta:
+    """Structural difference between two compiled netlists.
+
+    The changed-gate set is split by what a difference can affect:
+
+    ``changed``
+        Signals of the *new* circuit whose driving function differs — they
+        did not exist before, or their gate type or fanin list changed.
+        Their simulated *values* can differ between the two circuits, so the
+        effect propagates forward through their sequential fanout cone.
+
+    ``observability``
+        Signals whose driver is identical but whose fanout sink set or
+        primary-output membership changed.  Their values are the same under
+        every input sequence; only how (and whether) transitions on them are
+        *observed* differs, which affects exactly the faults that propagate
+        through them — their sequential fanin cone, not their fanout cone.
+
+    ``removed``
+        Signals that exist only in the old circuit.  Their surviving
+        neighbours always land in one of the two sets above: a rewired sink
+        has a different fanin (``changed``), a source that lost the sink has
+        a different fanout (``observability``).
+
+    The incremental engine (:mod:`repro.store.incremental`) grows these sets
+    into a sequential influence cone to decide which stored fault results
+    survive a netlist edit.
+    """
+
+    changed: Tuple[str, ...]
+    observability: Tuple[str, ...]
+    removed: Tuple[str, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the two netlists are structurally identical."""
+        return not self.changed and not self.observability and not self.removed
+
+
+def diff_compiled(old: CompiledCircuit, new: CompiledCircuit) -> NetlistDelta:
+    """Compute the changed-gate set between two compiled netlists.
+
+    Signals are matched by name, so the diff is meaningful exactly when the
+    new netlist is an *edit* of the old one (the incremental-ATPG contract).
+    The comparison is purely structural — gate type, fanin list, fanout sink
+    set and primary-output membership — and deliberately conservative: any
+    local difference puts the signal into the changed or observability set,
+    and the influence cone built on top of them does the rest.
+    """
+    old_circuit = old.circuit
+    new_circuit = new.circuit
+    old_outputs = set(old_circuit.primary_outputs)
+    new_outputs = set(new_circuit.primary_outputs)
+    changed: List[str] = []
+    observability: List[str] = []
+    for name, gate in new_circuit.gates.items():
+        other = old_circuit.gates.get(name)
+        if (
+            other is None
+            or gate.gate_type is not other.gate_type
+            or list(gate.fanin) != list(other.fanin)
+        ):
+            changed.append(name)
+        elif (name in new_outputs) != (name in old_outputs) or sorted(
+            new_circuit.fanout(name)
+        ) != sorted(old_circuit.fanout(name)):
+            observability.append(name)
+    removed = [name for name in old_circuit.gates if name not in new_circuit.gates]
+    return NetlistDelta(
+        changed=tuple(sorted(changed)),
+        observability=tuple(sorted(observability)),
+        removed=tuple(sorted(removed)),
+    )

@@ -201,6 +201,25 @@ class AtpgService:
                 job.result_json = cached
                 job.total_faults = cached.get("total_faults")
                 job.add_event({"type": "cache-hit", "key": cache_key})
+            elif spec.incremental_from is not None:
+                # Store-backed incremental re-run: bit-identical to a
+                # from-scratch campaign on the submitted netlist, so the
+                # result is cacheable under the ordinary campaign key.
+                # Always serial — 'jobs' is orchestration-only and absent
+                # from the config digest, so it is ignored here.
+                outcome = await self._in_executor(
+                    self._run_incremental, spec, circuit, config, job_registry
+                )
+                result = outcome.result
+                job.result_json = result.to_json()
+                job.total_faults = result.total_faults
+                job.add_event({"type": "incremental", **outcome.summary()})
+                job.metrics_json = metrics_document(
+                    job_registry.snapshot(),
+                    fault_costs=outcome.costs,
+                    context={"job_id": job.id},
+                )
+                self.results.put(cache_key, job.result_json)
             elif spec.time_limit_s is not None:
                 # Time-limited jobs run the serial flow (the partial result
                 # depends on wall time, so it is neither journaled for
@@ -259,6 +278,20 @@ class AtpgService:
         """Resolve and warm the submitted circuit (runs in the executor)."""
         circuit, net_digest, _ = self.netlists.warm(spec.build_circuit())
         return circuit, net_digest
+
+    @staticmethod
+    def _run_incremental(spec: JobSpec, circuit, config, metrics=None) -> object:
+        """The store-backed incremental campaign path (runs in the executor)."""
+        from repro.store import CampaignStore, run_incremental
+
+        with CampaignStore(spec.incremental_from) as store:
+            return run_incremental(
+                circuit,
+                store,
+                config,
+                max_target_faults=spec.max_target_faults,
+                metrics=metrics,
+            )
 
     @staticmethod
     def _run_serial(spec: JobSpec, circuit, metrics=None) -> object:

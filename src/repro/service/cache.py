@@ -23,27 +23,17 @@ campaign executor thread touch them concurrently):
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.circuit.bench import write_bench
+from repro.circuit.bench import netlist_digest
 from repro.circuit.netlist import Circuit
 from repro.faults.model import GateDelayFault
 from repro.fausim.compile import compile_circuit
 from repro.orchestrate.journal import campaign_digest
 
-
-def netlist_digest(circuit: Circuit) -> str:
-    """Fingerprint of a netlist: SHA-256 over its canonical ``.bench`` text.
-
-    The circuit *name* is deliberately excluded — the same netlist submitted
-    under two names is still the same compile work and the same campaign
-    (fault sites are named after signals, not after the circuit).
-    """
-    lines = [line for line in write_bench(circuit).splitlines() if not line.startswith("#")]
-    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()[:16]
+__all__ = ["NetlistCache", "ResultCache", "campaign_cache_key", "netlist_digest"]
 
 
 def campaign_cache_key(

@@ -65,11 +65,17 @@ class JobSpec:
     rpg_prefix: bool = False
     rpg_budget: int = 256
     rpg_window: int = 16
+    #: Path to a persistent campaign store (``docs/STORE.md``) holding a
+    #: finished campaign for the same circuit name and settings: the job
+    #: then runs incrementally, re-targeting only the faults inside the
+    #: netlist edit's influence cone (mirrors ``--incremental-from``).
+    incremental_from: Optional[str] = None
 
     _FIELDS = (
         "circuit", "bench", "name", "scale", "priority", "jobs", "partition",
         "seed", "backend", "robust", "backtrack_limit", "max_target_faults",
         "time_limit_s", "rpg_prefix", "rpg_budget", "rpg_window",
+        "incremental_from",
     )
 
     @classmethod
@@ -83,7 +89,7 @@ class JobSpec:
         spec = cls()
         for field, caster in (
             ("circuit", str), ("bench", str), ("name", str), ("partition", str),
-            ("backend", str),
+            ("backend", str), ("incremental_from", str),
         ):
             value = payload.get(field)
             if value is not None:
@@ -153,6 +159,14 @@ class JobSpec:
                     f"unknown backend {self.backend!r}; known: "
                     f"{', '.join(sorted(available_backends()))}"
                 )
+        if self.incremental_from is not None:
+            # The incremental engine is the serial loop with a store-backed
+            # memo; anything that reshapes the loop breaks the bit-identity
+            # contract (mirrors the CLI's --incremental-from conflicts).
+            if self.rpg_prefix:
+                raise ValueError("'incremental_from' does not support 'rpg_prefix'")
+            if self.time_limit_s is not None:
+                raise ValueError("'incremental_from' does not support 'time_limit_s'")
 
     def build_circuit(self) -> Circuit:
         """Materialise the submitted circuit (registry load or bench parse)."""

@@ -1,0 +1,184 @@
+"""SQLite schema of the persistent campaign store.
+
+The store is a single ``sqlite3`` file (stdlib only — no Parquet/DuckDB
+dependency) holding normalized, columnar tables for everything a campaign
+produces:
+
+``campaigns``
+    One row per finished (or partially journaled) campaign: circuit name,
+    netlist digest, config digest, the full config payload, the canonical
+    ``.bench`` text of the netlist, the Table-3 counters, the random-pattern
+    prefix statistics and provenance (backend, seed, source, ingest time).
+
+``faults``
+    The enumerated fault universe of the campaign, in enumeration order.
+    Stored explicitly so the config digest can be re-verified offline and so
+    the incremental engine can compare universes without re-deriving them.
+
+``results``
+    Per-fault outcomes in crediting order: status, phase, backtrack/attempt
+    counters, a foreign key into ``sequences`` and the TDsim detection list.
+
+``sequences``
+    Test sequences as JSON vectors — one row per generated sequence (kind
+    ``fault``) or random-pattern prefix sequence (kind ``prefix``).
+
+``costs``
+    Per-fault cost records from :mod:`repro.obs` (decisions, implication
+    sweeps, words simulated, ...), when the producing campaign collected
+    metrics.
+
+``timings``
+    Named wall-clock measurements (always ``cpu_seconds``; callers may add
+    phase timings).
+
+Connections are opened in WAL mode with a generous busy timeout so several
+writers (CLI runs, service jobs, test threads) can ingest into one store
+file concurrently; every ingest is a single transaction.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+#: Bumped whenever the DDL below changes incompatibly.  A store created by a
+#: different schema version is rejected instead of silently misread.
+SCHEMA_VERSION = 1
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS campaigns (
+    id                     INTEGER PRIMARY KEY AUTOINCREMENT,
+    circuit                TEXT NOT NULL,
+    net_digest             TEXT,
+    config_digest          TEXT NOT NULL,
+    config_json            TEXT,
+    bench                  TEXT,
+    backend                TEXT,
+    robust                 INTEGER,
+    campaign_seed          INTEGER,
+    rpg_prefix             INTEGER NOT NULL DEFAULT 0,
+    rpg_budget             INTEGER,
+    rpg_window             INTEGER,
+    total_faults           INTEGER NOT NULL,
+    tested                 INTEGER NOT NULL,
+    untestable             INTEGER NOT NULL,
+    aborted                INTEGER NOT NULL,
+    pattern_count          INTEGER NOT NULL,
+    cpu_seconds            REAL NOT NULL,
+    untestable_local       INTEGER NOT NULL,
+    untestable_sequential  INTEGER NOT NULL,
+    aborted_local          INTEGER NOT NULL,
+    aborted_sequential     INTEGER NOT NULL,
+    targeted               INTEGER NOT NULL,
+    detected_by_simulation INTEGER NOT NULL,
+    prefix_applied         INTEGER NOT NULL,
+    prefix_detected        INTEGER NOT NULL,
+    prefix_stop_reason     TEXT,
+    source                 TEXT NOT NULL,
+    partial                INTEGER NOT NULL DEFAULT 0,
+    created_at             REAL NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS faults (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id) ON DELETE CASCADE,
+    idx         INTEGER NOT NULL,
+    fault       TEXT NOT NULL,
+    fault_json  TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, idx)
+);
+
+CREATE TABLE IF NOT EXISTS sequences (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign_id   INTEGER NOT NULL REFERENCES campaigns(id) ON DELETE CASCADE,
+    kind          TEXT NOT NULL CHECK (kind IN ('fault', 'prefix')),
+    ordinal       INTEGER NOT NULL,
+    fault         TEXT,
+    pattern_count INTEGER NOT NULL,
+    sequence_json TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS results (
+    campaign_id           INTEGER NOT NULL REFERENCES campaigns(id) ON DELETE CASCADE,
+    ordinal               INTEGER NOT NULL,
+    fault                 TEXT NOT NULL,
+    fault_json            TEXT NOT NULL,
+    status                TEXT NOT NULL,
+    phase                 TEXT NOT NULL,
+    sequence_id           INTEGER REFERENCES sequences(id),
+    attempts              INTEGER NOT NULL,
+    local_backtracks      INTEGER NOT NULL,
+    sequential_backtracks INTEGER NOT NULL,
+    detections_json       TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, ordinal)
+);
+
+CREATE TABLE IF NOT EXISTS costs (
+    campaign_id           INTEGER NOT NULL REFERENCES campaigns(id) ON DELETE CASCADE,
+    ordinal               INTEGER NOT NULL,
+    fault                 TEXT NOT NULL,
+    status                TEXT NOT NULL,
+    phase                 TEXT NOT NULL,
+    seconds               REAL NOT NULL,
+    attempts              INTEGER NOT NULL,
+    local_backtracks      INTEGER NOT NULL,
+    sequential_backtracks INTEGER NOT NULL,
+    decisions             INTEGER NOT NULL,
+    implication_sweeps    INTEGER NOT NULL,
+    wavefront_skipped     INTEGER NOT NULL,
+    words_simulated       INTEGER NOT NULL,
+    engine                TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, ordinal)
+);
+
+CREATE TABLE IF NOT EXISTS timings (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id) ON DELETE CASCADE,
+    name        TEXT NOT NULL,
+    seconds     REAL NOT NULL,
+    PRIMARY KEY (campaign_id, name)
+);
+
+CREATE INDEX IF NOT EXISTS idx_campaigns_circuit ON campaigns(circuit);
+CREATE INDEX IF NOT EXISTS idx_campaigns_config ON campaigns(config_json);
+CREATE INDEX IF NOT EXISTS idx_results_fault ON results(campaign_id, fault);
+CREATE INDEX IF NOT EXISTS idx_costs_seconds ON costs(seconds);
+"""
+
+
+def connect(path: str) -> sqlite3.Connection:
+    """Open (and if necessary create) a campaign store database.
+
+    The connection is configured for concurrent writers: WAL journal mode, a
+    30-second busy timeout and foreign keys on.  ``check_same_thread`` is
+    disabled because the service executes campaigns on a worker thread; the
+    store itself serialises access per connection.
+    """
+    conn = sqlite3.connect(path, timeout=30.0, check_same_thread=False)
+    conn.row_factory = sqlite3.Row
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA busy_timeout=30000")
+    conn.execute("PRAGMA foreign_keys=ON")
+    ensure_schema(conn)
+    return conn
+
+
+def ensure_schema(conn: sqlite3.Connection) -> None:
+    """Create the schema if absent and verify the stored schema version."""
+    with conn:
+        conn.executescript(_DDL)
+        # OR IGNORE: two fresh connections may race to stamp the version;
+        # the loser's insert is a no-op and the re-read below verifies.
+        conn.execute(
+            "INSERT OR IGNORE INTO meta(key, value) VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+        row = conn.execute("SELECT value FROM meta WHERE key='schema_version'").fetchone()
+        if int(row["value"]) != SCHEMA_VERSION:
+            raise ValueError(
+                f"campaign store schema version {row['value']} is not supported "
+                f"(expected {SCHEMA_VERSION})"
+            )

@@ -617,11 +617,471 @@ def persist_case(case: FuzzCase, failures: Sequence[str], note: str = "") -> Pat
 
 
 def load_corpus() -> List[Tuple[Path, FuzzCase]]:
-    """Every checked-in corpus case, sorted by file name."""
+    """Every checked-in differential corpus case, sorted by file name.
+
+    Incremental-equivalence cases (``"kind": "incremental"``) live in the
+    same directory but replay through :func:`check_incremental_case`; see
+    :func:`load_incremental_corpus`.
+    """
     if not CORPUS_DIR.is_dir():
         return []
     cases = []
     for path in sorted(CORPUS_DIR.glob("*.json")):
         payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("kind") == "incremental":
+            continue
         cases.append((path, FuzzCase.from_json(payload["case"])))
+    return cases
+
+
+# --------------------------------------------------------------------------- #
+# incremental-equivalence fuzzing
+# --------------------------------------------------------------------------- #
+#: Perturbation kinds :class:`PerturbSpec` can describe.  Flip-flop
+#: additions/removals are deliberately excluded: they change the state set,
+#: which the store-side sequence refit already pins deterministically, and a
+#: register delta always lands its whole fanin/fanout in the cone anyway.
+PERTURB_KINDS = ("type_flip", "rewire", "add_gate", "remove_gate")
+
+
+@dataclasses.dataclass
+class PerturbSpec:
+    """One serialisable single-edit netlist perturbation.
+
+    Applied to a :class:`CircuitSpec` (never a built circuit) so a perturbed
+    case round-trips through JSON exactly like the base spec.
+
+    Attributes:
+        kind: one of :data:`PERTURB_KINDS`.
+        gate: the edited gate's output name (the *new* gate's name for
+            ``add_gate``).
+        gate_type: replacement/new gate type name (``type_flip``/``add_gate``).
+        pin: fanin pin index being rewired (``rewire``).
+        source: replacement fanin source (``rewire``).
+        fanins: the new gate's fanin list (``add_gate``).
+        attach: how an added gate is observed — ``"po"`` (new primary
+            output), ``"dff:<q>"`` (repoint that flip-flop's data input) or
+            ``None`` (left dangling; still a structural delta).
+    """
+
+    kind: str
+    gate: str
+    gate_type: Optional[str] = None
+    pin: Optional[int] = None
+    source: Optional[str] = None
+    fanins: List[str] = dataclasses.field(default_factory=list)
+    attach: Optional[str] = None
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON representation (see :meth:`from_json`)."""
+        return {
+            "kind": self.kind,
+            "gate": self.gate,
+            "gate_type": self.gate_type,
+            "pin": self.pin,
+            "source": self.source,
+            "fanins": list(self.fanins),
+            "attach": self.attach,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "PerturbSpec":
+        """Rebuild a perturbation from its :meth:`to_json` representation."""
+        return cls(
+            kind=payload["kind"],
+            gate=payload["gate"],
+            gate_type=payload.get("gate_type"),
+            pin=payload.get("pin"),
+            source=payload.get("source"),
+            fanins=list(payload.get("fanins", [])),
+            attach=payload.get("attach"),
+        )
+
+    def apply(self, spec: CircuitSpec) -> CircuitSpec:
+        """The perturbed copy of ``spec`` (raises ``ValueError`` if stale).
+
+        A shrink step may have removed the edited gate; raising keeps the
+        shrinker honest (such variants are rejected as invalid).
+        """
+        out = CircuitSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        index = next(
+            (i for i, (_, o, _) in enumerate(out.gates) if o == self.gate), None
+        )
+        if self.kind == "type_flip":
+            if index is None:
+                raise ValueError(f"no gate {self.gate!r} to flip")
+            _, output, fanins = out.gates[index]
+            out.gates[index] = (self.gate_type, output, fanins)
+        elif self.kind == "rewire":
+            if index is None:
+                raise ValueError(f"no gate {self.gate!r} to rewire")
+            gate_type, output, fanins = out.gates[index]
+            if self.pin >= len(fanins) or not _defined_before(out, index, self.source):
+                raise ValueError("stale rewire")
+            fanins = list(fanins)
+            fanins[self.pin] = self.source
+            out.gates[index] = (gate_type, output, fanins)
+        elif self.kind == "add_gate":
+            if index is not None:
+                raise ValueError(f"gate {self.gate!r} already exists")
+            pool = set(out.inputs) | {q for q, _ in out.dffs}
+            pool.update(o for _, o, _ in out.gates)
+            if not set(self.fanins) <= pool:
+                raise ValueError("stale add_gate fanins")
+            out.gates.append((self.gate_type, self.gate, list(self.fanins)))
+            if self.attach == "po":
+                out.outputs.append(self.gate)
+            elif self.attach is not None and self.attach.startswith("dff:"):
+                q = self.attach[4:]
+                slot = next((i for i, (ff, _) in enumerate(out.dffs) if ff == q), None)
+                if slot is None:
+                    raise ValueError(f"no flip-flop {q!r} to repoint")
+                out.dffs[slot] = (q, self.gate)
+        elif self.kind == "remove_gate":
+            if index is None:
+                raise ValueError(f"no gate {self.gate!r} to remove")
+            replacement = out.gates[index][2][0]
+            del out.gates[index]
+            out.gates = [
+                (t, o, [replacement if s == self.gate else s for s in f])
+                for t, o, f in out.gates
+            ]
+            out.dffs = [
+                (q, replacement if d == self.gate else d) for q, d in out.dffs
+            ]
+            out.outputs = [o for o in out.outputs if o != self.gate]
+            if not out.outputs:
+                raise ValueError("removal would leave no primary outputs")
+        else:
+            raise ValueError(f"unknown perturbation kind {self.kind!r}")
+        return out
+
+    @classmethod
+    def generate(cls, rng: random.Random, spec: CircuitSpec) -> "PerturbSpec":
+        """A seeded random perturbation that is valid for ``spec``."""
+        for _ in range(32):
+            kind = rng.choice(PERTURB_KINDS)
+            candidate = cls._generate_one(rng, spec, kind)
+            if candidate is None:
+                continue
+            try:
+                candidate.apply(spec).build()
+            except Exception:
+                continue
+            return candidate
+        # Always-valid fallback: flip the first gate's type.
+        gate_type, output, fanins = spec.gates[0]
+        family = _SINGLE_INPUT if len(fanins) == 1 else _MULTI_INPUT
+        flipped = rng.choice([t for t in family if t.name != gate_type])
+        return cls(kind="type_flip", gate=output, gate_type=flipped.name)
+
+    @classmethod
+    def _generate_one(
+        cls, rng: random.Random, spec: CircuitSpec, kind: str
+    ) -> Optional["PerturbSpec"]:
+        """One random attempt at a ``kind`` perturbation, or ``None``."""
+        if kind == "type_flip":
+            gate_type, output, fanins = rng.choice(spec.gates)
+            family = _SINGLE_INPUT if len(fanins) == 1 else _MULTI_INPUT
+            choices = [t for t in family if t.name != gate_type]
+            if not choices:
+                return None
+            return cls(kind="type_flip", gate=output, gate_type=rng.choice(choices).name)
+        if kind == "rewire":
+            index = rng.randrange(len(spec.gates))
+            _, output, fanins = spec.gates[index]
+            pool = list(spec.inputs) + [q for q, _ in spec.dffs]
+            pool += [o for _, o, _ in spec.gates[:index]]
+            pin = rng.randrange(len(fanins))
+            choices = [s for s in pool if s != fanins[pin]]
+            if not choices:
+                return None
+            return cls(kind="rewire", gate=output, pin=pin, source=rng.choice(choices))
+        if kind == "add_gate":
+            pool = list(spec.inputs) + [q for q, _ in spec.dffs]
+            pool += [o for _, o, _ in spec.gates]
+            if rng.random() < 0.25:
+                gate_type, fanins = rng.choice(_SINGLE_INPUT), [rng.choice(pool)]
+            else:
+                arity = rng.randint(2, min(3, len(pool)))
+                gate_type, fanins = rng.choice(_MULTI_INPUT), rng.sample(pool, arity)
+            roll = rng.random()
+            if roll < 0.45:
+                attach: Optional[str] = "po"
+            elif roll < 0.75 and spec.dffs:
+                attach = f"dff:{rng.choice(spec.dffs)[0]}"
+            else:
+                attach = None
+            return cls(
+                kind="add_gate",
+                gate="p0",
+                gate_type=gate_type.name,
+                fanins=fanins,
+                attach=attach,
+            )
+        # remove_gate
+        removable = [o for _, o, _ in spec.gates if o not in spec.outputs or len(spec.outputs) > 1]
+        if not removable:
+            return None
+        return cls(kind="remove_gate", gate=rng.choice(removable))
+
+
+def _defined_before(spec: CircuitSpec, index: int, source: str) -> bool:
+    """True when ``source`` is legal as a fanin of gate ``index`` (acyclic)."""
+    if source in spec.inputs or any(q == source for q, _ in spec.dffs):
+        return True
+    return any(o == source for _, o, _ in spec.gates[:index])
+
+
+@dataclasses.dataclass
+class IncrementalFuzzCase:
+    """One serialisable incremental-equivalence check.
+
+    A base circuit, a single-edit perturbation and the campaign settings
+    (robustness mode, simulation ``backend``, optional base-campaign cap).
+    :func:`check_incremental_case` runs the base campaign, ingests it into a
+    throwaway store, and asserts the incremental re-run on the perturbed
+    circuit is fingerprint-identical to a from-scratch campaign.
+    """
+
+    seed: int
+    circuit: CircuitSpec
+    perturb: PerturbSpec
+    robust: bool = True
+    backend: Optional[str] = None
+    #: Optional ``max_target_faults`` cap on the *base* campaign, so the
+    #: incremental loop's retarget-on-missing-record path is fuzzed too.
+    base_cap: Optional[int] = None
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON representation (see :meth:`from_json`)."""
+        return {
+            "kind": "incremental",
+            "seed": self.seed,
+            "circuit": self.circuit.to_json(),
+            "perturb": self.perturb.to_json(),
+            "robust": self.robust,
+            "backend": self.backend,
+            "base_cap": self.base_cap,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "IncrementalFuzzCase":
+        """Rebuild a case from its :meth:`to_json` representation."""
+        return cls(
+            seed=payload["seed"],
+            circuit=CircuitSpec.from_json(payload["circuit"]),
+            perturb=PerturbSpec.from_json(payload["perturb"]),
+            robust=payload.get("robust", True),
+            backend=payload.get("backend"),
+            base_cap=payload.get("base_cap"),
+        )
+
+
+def generate_incremental_case(seed: int) -> IncrementalFuzzCase:
+    """The deterministic incremental-equivalence case of one seed."""
+    rng = random.Random(0x1CC0 ^ (seed * 0x9E3779B1))
+    spec = CircuitSpec.generate(rng, f"incr{seed}")
+    perturb = PerturbSpec.generate(rng, spec)
+    return IncrementalFuzzCase(
+        seed=seed,
+        circuit=spec,
+        perturb=perturb,
+        robust=rng.random() < 0.6,
+        backend=rng.choice(list(available_backends())),
+        base_cap=rng.randint(3, 12) if rng.random() < 0.25 else None,
+    )
+
+
+def _incremental_config(case: IncrementalFuzzCase):
+    """The (serial) campaign settings an incremental case runs under.
+
+    Tight backtrack limits keep each of the three campaigns per check cheap;
+    they are part of the config digest, so base and re-run agree on them.
+    """
+    from repro.orchestrate.coordinator import OrchestratorConfig
+
+    return OrchestratorConfig(
+        jobs=1,
+        robust=case.robust,
+        backend=case.backend,
+        local_backtrack_limit=8,
+        sequential_backtrack_limit=8,
+        max_local_retries=2,
+    )
+
+
+def check_incremental_case(case: IncrementalFuzzCase) -> List[str]:
+    """Replay an incremental-equivalence case; returns every violation.
+
+    Three properties are checked:
+
+    1. **Equivalence** — the incremental campaign's fingerprint is
+       bit-identical to a from-scratch serial campaign on the perturbed
+       circuit (per-fault statuses, sequences, detection lists, Table-3
+       counters; only ``cpu_seconds`` is exempt).
+    2. **Partition** — kept plus invalidated is exactly the perturbed
+       circuit's fault universe, and the residue is exactly the set of
+       faults whose signal lies in the influence cone.
+    3. **Accounting** — every recorded fault was either reused from the
+       store or freshly re-targeted.
+    """
+    import os
+    import tempfile
+
+    from repro.fausim.compile import compile_circuit, diff_compiled
+    from repro.store.incremental import influence_cone, invalidate, run_incremental
+    from repro.store.store import CampaignStore
+
+    from repro.core.flow import SequentialDelayATPG
+
+    failures: List[str] = []
+    config = _incremental_config(case)
+    old = case.circuit.build()
+    new = case.perturb.apply(case.circuit).build()
+
+    base_result = SequentialDelayATPG(old, **config.atpg_kwargs()).run(
+        max_target_faults=case.base_cap
+    )
+    scratch = SequentialDelayATPG(new, **config.atpg_kwargs()).run()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CampaignStore(os.path.join(tmp, "store.sqlite"))
+        try:
+            store.ingest_result(base_result, circuit=old, config=config)
+            outcome = run_incremental(new, store, config)
+        finally:
+            store.close()
+
+    want = scratch.fingerprint()
+    got = outcome.result.fingerprint()
+    if got != want:
+        keys = [key for key in want if got.get(key) != want.get(key)]
+        failures.append(f"equivalence: fingerprint differs in {keys}")
+
+    universe = enumerate_delay_faults(new)
+    delta = diff_compiled(compile_circuit(old), compile_circuit(new))
+    cone = influence_cone(new, delta)
+    kept, residue = invalidate(universe, cone)
+    if outcome.kept != len(kept) or outcome.invalidated != len(residue):
+        failures.append(
+            f"partition: outcome kept/invalidated {outcome.kept}/{outcome.invalidated} "
+            f"!= recomputed {len(kept)}/{len(residue)}"
+        )
+    if len(kept) + len(residue) != len(universe):
+        failures.append("partition: kept + residue != fault universe")
+    misplaced = [f for f in residue if f.line.signal not in cone]
+    misplaced += [f for f in kept if f.line.signal in cone]
+    if misplaced:
+        failures.append(f"partition: {misplaced[0]} on the wrong side of the cone")
+
+    if outcome.reused + outcome.retargeted != outcome.result.targeted:
+        failures.append(
+            f"accounting: reused {outcome.reused} + retargeted {outcome.retargeted} "
+            f"!= targeted {outcome.result.targeted}"
+        )
+    return failures
+
+
+def _is_valid_incremental(case: IncrementalFuzzCase) -> bool:
+    """True when base and perturbed circuits both still build."""
+    try:
+        old = case.circuit.build()
+        new = case.perturb.apply(case.circuit).build()
+    except Exception:
+        return False
+    return bool(old.primary_outputs) and bool(new.primary_outputs)
+
+
+def _shrink_incremental_candidates(
+    case: IncrementalFuzzCase,
+) -> List[IncrementalFuzzCase]:
+    """Every one-step-smaller variant of an incremental case."""
+    variants: List[IncrementalFuzzCase] = []
+
+    def clone() -> IncrementalFuzzCase:
+        return IncrementalFuzzCase.from_json(json.loads(json.dumps(case.to_json())))
+
+    spec = case.circuit
+    if len(spec.outputs) > 1:
+        for index in range(len(spec.outputs)):
+            variant = clone()
+            del variant.circuit.outputs[index]
+            variants.append(variant)
+    referenced = set(spec.outputs) | {case.perturb.gate, case.perturb.source or ""}
+    referenced.update(case.perturb.fanins)
+    for _, _, fanins in spec.gates:
+        referenced.update(fanins)
+    for _, data in spec.dffs:
+        referenced.add(data)
+    for index, (_, output, _) in enumerate(spec.gates):
+        if output not in referenced:
+            variant = clone()
+            del variant.circuit.gates[index]
+            variants.append(variant)
+    for index, (q, _) in enumerate(spec.dffs):
+        if q not in referenced:
+            variant = clone()
+            del variant.circuit.dffs[index]
+            variants.append(variant)
+    if case.base_cap is not None:
+        variant = clone()
+        variant.base_cap = None
+        variants.append(variant)
+    return variants
+
+
+def shrink_incremental_case(
+    case: IncrementalFuzzCase, predicate=None, max_checks: int = 60
+) -> IncrementalFuzzCase:
+    """Greedily minimise a failing incremental case while it keeps failing."""
+    if predicate is None:
+        predicate = lambda candidate: bool(check_incremental_case(candidate))  # noqa: E731
+    if not predicate(case):
+        return case
+    checks = 0
+    shrunk = True
+    while shrunk and checks < max_checks:
+        shrunk = False
+        for variant in _shrink_incremental_candidates(case):
+            if checks >= max_checks:
+                break
+            if not _is_valid_incremental(variant):
+                continue
+            checks += 1
+            if predicate(variant):
+                case = variant
+                shrunk = True
+                break
+    return case
+
+
+def persist_incremental_case(
+    case: IncrementalFuzzCase, failures: Sequence[str], note: str = ""
+) -> Path:
+    """Write a (minimised) incremental case into the regression corpus."""
+    payload = {
+        "kind": "incremental",
+        "note": note or "persisted by the incremental-equivalence fuzz harness",
+        "failures_at_discovery": list(failures),
+        "case": case.to_json(),
+    }
+    blob = json.dumps(payload, indent=2, sort_keys=True)
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:10]
+    CORPUS_DIR.mkdir(exist_ok=True)
+    path = CORPUS_DIR / f"fuzz_incr_{digest}.json"
+    path.write_text(blob + "\n", encoding="utf-8")
+    return path
+
+
+def load_incremental_corpus() -> List[Tuple[Path, IncrementalFuzzCase]]:
+    """Every checked-in incremental-equivalence corpus case."""
+    if not CORPUS_DIR.is_dir():
+        return []
+    cases = []
+    for path in sorted(CORPUS_DIR.glob("*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("kind") != "incremental":
+            continue
+        cases.append((path, IncrementalFuzzCase.from_json(payload["case"])))
     return cases

@@ -12,9 +12,16 @@ from __future__ import annotations
 
 import pytest
 
-from tests.fuzz.harness import CORPUS_DIR, check_case, load_corpus
+from tests.fuzz.harness import (
+    CORPUS_DIR,
+    check_case,
+    check_incremental_case,
+    load_corpus,
+    load_incremental_corpus,
+)
 
 _CORPUS = load_corpus()
+_INCR_CORPUS = load_incremental_corpus()
 
 
 def test_corpus_is_checked_in():
@@ -23,10 +30,24 @@ def test_corpus_is_checked_in():
     assert _CORPUS, "tests/fuzz/corpus/ must contain at least one case"
 
 
+def test_incremental_corpus_is_checked_in():
+    """The incremental-equivalence anchor corpus exists and is non-empty."""
+    assert _INCR_CORPUS, "tests/fuzz/corpus/ must contain incremental anchors"
+
+
 @pytest.mark.parametrize(
     "path,case", _CORPUS, ids=[path.name for path, _ in _CORPUS]
 )
 def test_corpus_case_replays_clean(path, case):
     """All backends agree on every persisted regression case."""
     failures = check_case(case)
+    assert not failures, f"{path.name}: {failures}"
+
+
+@pytest.mark.parametrize(
+    "path,case", _INCR_CORPUS, ids=[path.name for path, _ in _INCR_CORPUS]
+)
+def test_incremental_corpus_case_replays_clean(path, case):
+    """Incremental equivalence holds on every persisted anchor case."""
+    failures = check_incremental_case(case)
     assert not failures, f"{path.name}: {failures}"

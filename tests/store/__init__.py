@@ -1,0 +1,3 @@
+"""Unit and end-to-end tests of the persistent campaign store
+(:mod:`repro.store`): schema round-trips, journal ingest, staleness
+rejection, concurrent writers, and the incremental re-run engine."""
